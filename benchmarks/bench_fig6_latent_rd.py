@@ -1,0 +1,83 @@
+"""Paper Fig. 6: SWAE prediction quality vs latent-vector compression ratio.
+
+Sweeps the latent error bound, compresses the latent vectors with the
+customized codec and measures the prediction PSNR obtained when decoding from
+the *decompressed* latents (CESM-FREQSH and NYX-baryon_density, as in the
+paper).
+
+Shape check (Takeaway 3): moderate latent compression is essentially free — the
+prediction PSNR at the lowest latent bit rate tested within the "safe" region
+(latent bound = 0.1 * e at e = 1e-2) stays within 1.5 dB of the PSNR obtained
+with uncompressed latents.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.common import bench_shape, model_cache, report_series, report_table, run_once, \
+    held_out_snapshot
+from repro.core import LatentCodec
+from repro.core.blocking import split_into_blocks
+from repro.metrics import prediction_psnr
+from repro.utils.validation import value_range
+
+FIELDS = ["CESM-FREQSH", "NYX-baryon_density"]
+# Latent error bounds expressed as a fraction of the field's value range.
+LATENT_EB_FRACTIONS = [1e-4, 5e-4, 1e-3, 5e-3, 1e-2]
+
+
+def run_fig6() -> list:
+    cache = model_cache()
+    codec = LatentCodec()
+    rows = []
+    for field in FIELDS:
+        model = cache.swae_for_field(field, shape=bench_shape(field))
+        data = held_out_snapshot(field)
+        vrange = value_range(data)
+        blocks, _ = split_into_blocks(data, model.config.block_size)
+        latents = np.concatenate([model.encode(blocks[i:i + 256])
+                                  for i in range(0, blocks.shape[0], 256)])
+
+        def predict_from(lat):
+            return np.concatenate([model.decode(lat[i:i + 256])
+                                   for i in range(0, lat.shape[0], 256)])
+
+        baseline_psnr = prediction_psnr(blocks, predict_from(latents))
+        rows.append({"field": field, "latent_bit_rate": 32.0 / (blocks[0].size / latents.shape[1]),
+                     "latent_cr": 1.0, "prediction_psnr_db": baseline_psnr,
+                     "latent_eb_fraction": 0.0})
+        for frac in LATENT_EB_FRACTIONS:
+            enc = codec.compress(latents, frac * vrange)
+            cr = latents.size * 4 / enc.nbytes
+            bit_rate_per_point = enc.nbytes * 8.0 / data.size
+            rows.append({
+                "field": field,
+                "latent_bit_rate": bit_rate_per_point,
+                "latent_cr": cr,
+                "prediction_psnr_db": prediction_psnr(blocks, predict_from(enc.decoded)),
+                "latent_eb_fraction": frac,
+            })
+    return rows
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6_latent_rate_distortion(benchmark):
+    rows = run_once(benchmark, run_fig6)
+    report_table("fig6_latent_rd", rows,
+                 title="Fig. 6: SWAE prediction PSNR vs latent compression")
+    series = {}
+    for r in rows:
+        series.setdefault(r["field"], []).append((r["latent_bit_rate"], r["prediction_psnr_db"]))
+    report_series("fig6_latent_rd_series", series, x_name="latent_bit_rate", y_name="psnr")
+
+    for field in FIELDS:
+        field_rows = [r for r in rows if r["field"] == field]
+        baseline = field_rows[0]["prediction_psnr_db"]
+        moderate = [r for r in field_rows if 0 < r["latent_eb_fraction"] <= 1e-3]
+        assert moderate, "sweep must include moderate latent bounds"
+        # Moderate latent compression must cost (almost) no prediction quality.
+        assert max(r["prediction_psnr_db"] for r in moderate) >= baseline - 1.5
+        # And it must actually compress the latents.
+        assert all(r["latent_cr"] > 1.5 for r in field_rows if r["latent_eb_fraction"] > 0)

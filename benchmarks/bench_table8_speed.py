@@ -1,0 +1,74 @@
+"""Paper Table VIII: compression / decompression throughput (MB/s) at eb = 1e-3.
+
+Measures one representative field per application for every compressor.
+Absolute MB/s are not comparable to the paper (pure NumPy on CPU vs optimized
+C/CUDA); the shape that must hold is the ordering: traditional compressors
+(SZ2.1, ZFP, SZauto, SZinterp) are faster than AE-SZ, and AE-SZ is much faster
+than AE-A (the paper reports 30-200x).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks.common import bench_shape, model_cache, report_table, run_once, held_out_snapshot
+from repro.analysis.experiments import baseline_compressors, build_aesz_for_field
+from repro.data.catalog import FIELDS as FIELD_SPECS
+from repro.utils.timing import throughput_mb_s
+
+ERROR_BOUND = 1e-3
+SPEED_FIELDS = {
+    "CESM": "CESM-CLDHGH",
+    "RTM": "RTM-snapshot",
+    "Hurricane": "Hurricane-U",
+    "NYX": "NYX-baryon_density",
+    "EXAFEL": "EXAFEL-raw",
+}
+
+
+def _measure(compressor, data) -> tuple:
+    nbytes = data.size * 4
+    start = time.perf_counter()
+    payload = compressor.compress(data, ERROR_BOUND)
+    t_comp = time.perf_counter() - start
+    start = time.perf_counter()
+    compressor.decompress(payload)
+    t_decomp = time.perf_counter() - start
+    return throughput_mb_s(nbytes, t_comp), throughput_mb_s(nbytes, t_decomp)
+
+
+def run_table8() -> list:
+    cache = model_cache()
+    rows = []
+    for app, field in SPEED_FIELDS.items():
+        data = held_out_snapshot(field)
+        compressors = dict(baseline_compressors())
+        compressors["AE-SZ"] = build_aesz_for_field(field, cache=cache,
+                                                    shape=bench_shape(field))
+        compressors["AE-A"] = cache.ae_a_for_field(field, shape=bench_shape(field))
+        if FIELD_SPECS[field].dimensionality == 3:
+            compressors["AE-B"] = cache.ae_b_for_field(field, shape=bench_shape(field))
+        for name, comp in compressors.items():
+            comp_speed, decomp_speed = _measure(comp, data)
+            rows.append({"dataset": app, "compressor": name,
+                         "compress_mb_s": comp_speed, "decompress_mb_s": decomp_speed})
+    return rows
+
+
+@pytest.mark.benchmark(group="table8")
+def test_table8_speed(benchmark):
+    rows = run_once(benchmark, run_table8)
+    report_table("table8_speed", rows,
+                 title="Table VIII: compression/decompression speed (MB/s), eb=1e-3")
+
+    by_comp = {}
+    for r in rows:
+        by_comp.setdefault(r["compressor"], []).append(r["compress_mb_s"])
+    mean = {k: float(np.mean(v)) for k, v in by_comp.items()}
+    # Ordering shape: the traditional compressors beat AE-SZ, AE-SZ beats AE-A.
+    assert mean["SZauto"] > mean["AE-SZ"]
+    assert mean["SZinterp"] > mean["AE-SZ"]
+    assert mean["AE-SZ"] > mean["AE-A"], mean

@@ -1,0 +1,92 @@
+"""Shared configuration and helpers for the benchmark harness.
+
+Every benchmark module regenerates one table or figure of the paper.  The
+numbers are produced on synthetic SDRBench-like data with scaled-down network
+widths and field sizes (see DESIGN.md), so absolute values differ from the
+paper; EXPERIMENTS.md records the paper-vs-measured comparison and the shape
+checks each benchmark asserts.
+
+Results are written to ``benchmarks/results/*.csv`` and printed to stdout.
+"""
+
+from __future__ import annotations
+
+import functools
+from pathlib import Path
+from typing import Dict, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.analysis import ModelCache, format_table, save_series_csv, write_csv
+from repro.analysis.experiments import TrainingBudget
+from repro.data import train_test_snapshots
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+CACHE_DIR = Path(__file__).resolve().parents[1] / ".model_cache"
+
+# Field shapes used by the benchmarks: large enough to show the compressors'
+# behaviour, small enough for the pure-NumPy pipeline to sweep repeatedly.
+BENCH_SHAPES: Dict[str, tuple] = {
+    "CESM-CLDHGH": (192, 384),
+    "CESM-FREQSH": (192, 384),
+    "EXAFEL-raw": (185, 194),
+    "NYX-baryon_density": (48, 48, 48),
+    "NYX-temperature": (48, 48, 48),
+    "NYX-dark_matter_density": (48, 48, 48),
+    "Hurricane-U": (20, 64, 64),
+    "Hurricane-QVAPOR": (20, 64, 64),
+    "RTM-snapshot": (48, 48, 32),
+}
+
+# The eight fields of Fig. 8 (a)-(h), in paper order.
+FIG8_FIELDS = [
+    "CESM-CLDHGH", "CESM-FREQSH", "EXAFEL-raw", "NYX-baryon_density",
+    "NYX-temperature", "Hurricane-QVAPOR", "Hurricane-U", "RTM-snapshot",
+]
+
+BENCH_BUDGET = TrainingBudget(epochs=20, batch_size=32, learning_rate=2e-3,
+                              max_blocks=768, train_snapshot_limit=3)
+
+
+@functools.lru_cache(maxsize=1)
+def model_cache() -> ModelCache:
+    """The benchmark-wide model cache (training happens once per field)."""
+    return ModelCache(cache_dir=CACHE_DIR, budget=BENCH_BUDGET, seed=0)
+
+
+def bench_shape(field_name: str) -> tuple:
+    return BENCH_SHAPES[field_name]
+
+
+def held_out_snapshot(field_name: str) -> np.ndarray:
+    """The held-out snapshot a benchmark compresses (never seen in training)."""
+    _, test = train_test_snapshots(field_name, shape=bench_shape(field_name), test_limit=1)
+    return test[0].astype(np.float64)
+
+
+def train_snapshots(field_name: str, limit: int = 3):
+    train, _ = train_test_snapshots(field_name, shape=bench_shape(field_name),
+                                    train_limit=limit)
+    return [t.astype(np.float64) for t in train]
+
+
+def report_table(name: str, rows: Sequence[Mapping], columns: Optional[Sequence[str]] = None,
+                 title: Optional[str] = None) -> None:
+    """Print a result table and persist it as CSV under benchmarks/results/."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    write_csv(RESULTS_DIR / f"{name}.csv", rows, columns)
+    print()
+    print(format_table(rows, columns=columns, title=title or name))
+
+
+def report_series(name: str, series: Mapping[str, Sequence[tuple]],
+                  x_name: str = "bit_rate", y_name: str = "psnr") -> None:
+    """Persist figure series as CSV under benchmarks/results/."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    save_series_csv(RESULTS_DIR / f"{name}.csv", series, x_name=x_name, y_name=y_name)
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run a whole-experiment callable exactly once under pytest-benchmark."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1,
+                              warmup_rounds=0)

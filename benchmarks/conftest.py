@@ -1,0 +1,13 @@
+"""Benchmark-suite configuration.
+
+Makes ``src/`` importable without installation and keeps pytest-benchmark's
+output reasonable (every benchmark here wraps a full experiment, so each is run
+exactly once via ``benchmark.pedantic``).
+"""
+
+import sys
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parents[1] / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))

@@ -1,0 +1,13 @@
+"""Repository-level pytest configuration.
+
+Makes the in-tree ``src/`` package importable even when the project has not
+been pip-installed (the offline environment used for this reproduction cannot
+run ``pip install -e .`` because build isolation needs network access).
+"""
+
+import sys
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parent / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))

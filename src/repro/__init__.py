@@ -1,0 +1,69 @@
+"""repro: AE-SZ — autoencoder-based error-bounded lossy compression for scientific data.
+
+A from-scratch Python reproduction of Liu et al., "Exploring Autoencoder-based
+Error-bounded Compression for Scientific Data" (IEEE CLUSTER 2021), including
+the full neural-network substrate, the AE-SZ compressor, the baseline
+compressors it is evaluated against, synthetic SDRBench-like datasets and the
+benchmark harness that regenerates every table and figure of the paper.
+
+Quickstart
+----------
+>>> from repro import AESZCompressor, AESZConfig
+>>> from repro.autoencoders import AutoencoderConfig, SlicedWassersteinAutoencoder
+>>> from repro.data import train_test_snapshots
+>>> train, test = train_test_snapshots("CESM-CLDHGH", shape=(128, 256))
+>>> ae = SlicedWassersteinAutoencoder(AutoencoderConfig(ndim=2, block_size=16,
+...                                                     latent_size=8, channels=(4, 8)))
+>>> compressor = AESZCompressor(ae, AESZConfig(block_size=16))
+>>> _ = compressor.train(train)
+>>> payload = compressor.compress(test[0], rel_error_bound=1e-2)
+>>> reconstruction = compressor.decompress(payload)
+"""
+
+from repro.core import AESZCompressor, AESZConfig, CompressionStats, default_autoencoder_config
+from repro.autoencoders import AutoencoderConfig, SlicedWassersteinAutoencoder, create_autoencoder
+from repro.compressors import (
+    AEACompressor,
+    AEBCompressor,
+    Compressor,
+    LosslessCompressor,
+    SZ21Compressor,
+    SZAutoCompressor,
+    SZInterpCompressor,
+    ZFPCompressor,
+)
+from repro.metrics import (
+    bit_rate,
+    compression_ratio,
+    max_abs_error,
+    psnr,
+    rate_distortion_sweep,
+    verify_error_bound,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AESZCompressor",
+    "AESZConfig",
+    "CompressionStats",
+    "default_autoencoder_config",
+    "AutoencoderConfig",
+    "SlicedWassersteinAutoencoder",
+    "create_autoencoder",
+    "Compressor",
+    "SZ21Compressor",
+    "ZFPCompressor",
+    "SZAutoCompressor",
+    "SZInterpCompressor",
+    "AEACompressor",
+    "AEBCompressor",
+    "LosslessCompressor",
+    "psnr",
+    "bit_rate",
+    "compression_ratio",
+    "max_abs_error",
+    "verify_error_bound",
+    "rate_distortion_sweep",
+    "__version__",
+]

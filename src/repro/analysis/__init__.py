@@ -1,0 +1,22 @@
+"""Result formatting and experiment orchestration helpers."""
+
+from repro.analysis.tables import format_table, write_csv
+from repro.analysis.figures import ascii_curve, ascii_histogram, save_series_csv
+from repro.analysis.experiments import (
+    ModelCache,
+    build_aesz_for_field,
+    default_error_bounds,
+    run_rate_distortion,
+)
+
+__all__ = [
+    "format_table",
+    "write_csv",
+    "ascii_curve",
+    "ascii_histogram",
+    "save_series_csv",
+    "ModelCache",
+    "build_aesz_for_field",
+    "default_error_bounds",
+    "run_rate_distortion",
+]

@@ -1,0 +1,186 @@
+"""Shared experiment orchestration for benchmarks and examples.
+
+The paper's evaluation needs one trained SWAE per field (and trained AE-A /
+AE-B comparators).  Training the pure-NumPy networks takes seconds-to-minutes
+per field on CPU, so :class:`ModelCache` trains each model once and stores the
+weights under ``.model_cache/`` in the repository; benchmarks and examples both
+go through it, which keeps repeat runs fast and deterministic.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.autoencoders import (
+    AutoencoderConfig,
+    FullyConnectedAutoencoder,
+    ResidualConvAutoencoder,
+    create_autoencoder,
+)
+from repro.compressors import (
+    AEACompressor,
+    AEBCompressor,
+    SZ21Compressor,
+    SZAutoCompressor,
+    SZInterpCompressor,
+    ZFPCompressor,
+)
+from repro.core import AESZCompressor, AESZConfig, default_autoencoder_config
+from repro.data import train_test_snapshots
+from repro.data.catalog import FIELDS
+from repro.metrics import RateDistortionCurve, rate_distortion_sweep
+from repro.nn import TrainingConfig
+from repro.utils.rng import derive_seed
+
+DEFAULT_CACHE_DIR = Path(__file__).resolve().parents[3] / ".model_cache"
+
+# Error bounds used for the rate-distortion sweeps (Fig. 8); the paper's plots
+# span roughly bit-rate 0..6, i.e. relative bounds from ~1e-1 down to ~1e-4.
+DEFAULT_ERROR_BOUNDS: Tuple[float, ...] = (5e-2, 2e-2, 1e-2, 5e-3, 2e-3, 1e-3)
+
+
+def default_error_bounds(high_ratio_only: bool = False) -> Tuple[float, ...]:
+    """Relative error bounds for RD sweeps; ``high_ratio_only`` keeps the low-bit-rate part."""
+    if high_ratio_only:
+        return (5e-2, 2e-2, 1e-2, 5e-3)
+    return DEFAULT_ERROR_BOUNDS
+
+
+@dataclass
+class TrainingBudget:
+    """How much CPU training each cached model gets (scaled-down defaults)."""
+
+    epochs: int = 12
+    batch_size: int = 32
+    learning_rate: float = 2e-3
+    max_blocks: int = 768
+    train_snapshot_limit: int = 3
+
+    def to_training_config(self, seed: int = 0) -> TrainingConfig:
+        return TrainingConfig(epochs=self.epochs, batch_size=self.batch_size,
+                              learning_rate=self.learning_rate, seed=seed)
+
+
+class ModelCache:
+    """Train-once/load-afterwards cache for autoencoder models."""
+
+    def __init__(self, cache_dir: Optional[os.PathLike] = None,
+                 budget: Optional[TrainingBudget] = None, seed: int = 0):
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else DEFAULT_CACHE_DIR
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        self.budget = budget or TrainingBudget()
+        self.seed = int(seed)
+
+    # ------------------------------------------------------------------ paths
+    def _model_path(self, key: str) -> Path:
+        return self.cache_dir / f"{key}.npz"
+
+    def _meta_path(self, key: str) -> Path:
+        return self.cache_dir / f"{key}.json"
+
+    def _key(self, kind: str, field_name: str, config: Mapping) -> str:
+        blob = json.dumps({"kind": kind, "field": field_name, "config": config}, sort_keys=True)
+        return f"{kind}-{field_name}-{derive_seed(self.seed, blob):08x}"
+
+    # ------------------------------------------------------------- SWAE model
+    def swae_for_field(self, field_name: str, ae_kind: str = "swae",
+                       config: Optional[AutoencoderConfig] = None,
+                       shape: Optional[Sequence[int]] = None):
+        """Return a trained blockwise autoencoder for ``field_name`` (cached)."""
+        if config is None:
+            config = default_autoencoder_config(field_name, scaled=True, seed=self.seed)
+        cfg_dict = {
+            "ndim": config.ndim, "block_size": config.block_size,
+            "latent_size": config.latent_size, "channels": list(config.channels),
+            "epochs": self.budget.epochs, "max_blocks": self.budget.max_blocks,
+            "shape": list(shape) if shape is not None else None,
+        }
+        key = self._key(ae_kind, field_name, cfg_dict)
+        model = create_autoencoder(ae_kind, config)
+        path = self._model_path(key)
+        if path.exists():
+            model.load(path)
+            return model
+
+        train, _ = train_test_snapshots(field_name, shape=shape, seed=self.seed,
+                                        train_limit=self.budget.train_snapshot_limit)
+        compressor = AESZCompressor(model, AESZConfig(block_size=config.block_size))
+        compressor.train(train, self.budget.to_training_config(self.seed),
+                         max_blocks=self.budget.max_blocks, seed=self.seed)
+        model.save(path)
+        self._meta_path(key).write_text(json.dumps(cfg_dict, indent=2))
+        return model
+
+    # ------------------------------------------------------------ comparators
+    def ae_a_for_field(self, field_name: str, segment_length: int = 512,
+                       shape: Optional[Sequence[int]] = None) -> AEACompressor:
+        """Trained AE-A comparator compressor for ``field_name`` (cached)."""
+        cfg = {"segment_length": segment_length, "epochs": self.budget.epochs,
+               "shape": list(shape) if shape is not None else None}
+        key = self._key("aea", field_name, cfg)
+        compressor = AEACompressor(segment_length=segment_length, seed=self.seed)
+        path = self._model_path(key)
+        if path.exists():
+            compressor.autoencoder.load(path)
+            return compressor
+        train, _ = train_test_snapshots(field_name, shape=shape, seed=self.seed,
+                                        train_limit=self.budget.train_snapshot_limit)
+        compressor.train(train, self.budget.to_training_config(self.seed),
+                         max_segments=self.budget.max_blocks, seed=self.seed)
+        compressor.autoencoder.save(path)
+        return compressor
+
+    def ae_b_for_field(self, field_name: str, block_size: int = 16,
+                       shape: Optional[Sequence[int]] = None) -> AEBCompressor:
+        """Trained AE-B comparator compressor (3D fields only, as in the paper)."""
+        ndim = FIELDS[field_name].dimensionality
+        cfg = {"block_size": block_size, "ndim": ndim, "epochs": self.budget.epochs,
+               "shape": list(shape) if shape is not None else None}
+        key = self._key("aeb", field_name, cfg)
+        compressor = AEBCompressor(block_size=block_size, ndim=ndim, seed=self.seed)
+        path = self._model_path(key)
+        if path.exists():
+            compressor.autoencoder.load(path)
+            return compressor
+        train, _ = train_test_snapshots(field_name, shape=shape, seed=self.seed,
+                                        train_limit=self.budget.train_snapshot_limit)
+        compressor.train(train, self.budget.to_training_config(self.seed),
+                         max_blocks=min(512, self.budget.max_blocks), seed=self.seed)
+        compressor.autoencoder.save(path)
+        return compressor
+
+
+def build_aesz_for_field(field_name: str, cache: Optional[ModelCache] = None,
+                         shape: Optional[Sequence[int]] = None,
+                         predictor_mode: str = "hybrid") -> AESZCompressor:
+    """Convenience: a trained AE-SZ compressor ready to use on ``field_name``."""
+    cache = cache or ModelCache()
+    model = cache.swae_for_field(field_name, shape=shape)
+    config = AESZConfig(block_size=model.config.block_size, predictor_mode=predictor_mode)
+    return AESZCompressor(model, config)
+
+
+def baseline_compressors(include_interp: bool = True, include_auto: bool = True) -> Dict[str, object]:
+    """The traditional error-bounded baselines used across the evaluation."""
+    out: Dict[str, object] = {"SZ2.1": SZ21Compressor(), "ZFP": ZFPCompressor()}
+    if include_auto:
+        out["SZauto"] = SZAutoCompressor()
+    if include_interp:
+        out["SZinterp"] = SZInterpCompressor()
+    return out
+
+
+def run_rate_distortion(compressors: Mapping[str, object], data: np.ndarray,
+                        error_bounds: Sequence[float] = DEFAULT_ERROR_BOUNDS
+                        ) -> Dict[str, RateDistortionCurve]:
+    """Sweep every compressor over ``error_bounds`` and return named RD curves."""
+    curves: Dict[str, RateDistortionCurve] = {}
+    for label, compressor in compressors.items():
+        curves[label] = rate_distortion_sweep(compressor, data, error_bounds, label=label)
+    return curves

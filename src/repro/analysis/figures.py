@@ -1,0 +1,83 @@
+"""Text-mode "figures": ASCII curves/histograms plus CSV series dumps.
+
+matplotlib is not available in this environment, so the benchmark harness
+reports each figure of the paper as (a) a CSV series that can be plotted
+anywhere and (b) a coarse ASCII rendering for quick inspection in the terminal.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Mapping, Optional, Sequence, Union
+
+import numpy as np
+
+PathLike = Union[str, os.PathLike]
+
+
+def ascii_curve(series: Mapping[str, Sequence[tuple]], width: int = 70, height: int = 18,
+                title: Optional[str] = None, xlabel: str = "x", ylabel: str = "y") -> str:
+    """Render one or more ``label -> [(x, y), ...]`` series as an ASCII plot."""
+    all_points = [(x, y) for pts in series.values() for x, y in pts
+                  if np.isfinite(x) and np.isfinite(y)]
+    if not all_points:
+        return (title or "") + "\n(empty figure)"
+    xs = np.array([p[0] for p in all_points])
+    ys = np.array([p[1] for p in all_points])
+    x_min, x_max = float(xs.min()), float(xs.max())
+    y_min, y_max = float(ys.min()), float(ys.max())
+    if x_max == x_min:
+        x_max = x_min + 1.0
+    if y_max == y_min:
+        y_max = y_min + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    markers = "ox+*#@%&"
+    legend = []
+    for i, (label, pts) in enumerate(series.items()):
+        marker = markers[i % len(markers)]
+        legend.append(f"{marker} = {label}")
+        for x, y in pts:
+            if not (np.isfinite(x) and np.isfinite(y)):
+                continue
+            col = int((x - x_min) / (x_max - x_min) * (width - 1))
+            row = height - 1 - int((y - y_min) / (y_max - y_min) * (height - 1))
+            grid[row][col] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{ylabel}  [{y_min:.3g} .. {y_max:.3g}]")
+    lines.extend("|" + "".join(row) for row in grid)
+    lines.append("+" + "-" * width)
+    lines.append(f"{xlabel}  [{x_min:.3g} .. {x_max:.3g}]")
+    lines.extend(legend)
+    return "\n".join(lines)
+
+
+def ascii_histogram(values: Sequence[float], bins: int = 20, width: int = 50,
+                    title: Optional[str] = None) -> str:
+    """Render a histogram of ``values`` with one text row per bin."""
+    values = np.asarray(list(values), dtype=np.float64)
+    if values.size == 0:
+        return (title or "") + "\n(empty histogram)"
+    counts, edges = np.histogram(values, bins=bins)
+    peak = counts.max() if counts.max() > 0 else 1
+    lines = []
+    if title:
+        lines.append(title)
+    for count, lo, hi in zip(counts, edges[:-1], edges[1:]):
+        bar = "#" * int(round(width * count / peak))
+        lines.append(f"[{lo:+.3e}, {hi:+.3e}) {bar} {count}")
+    return "\n".join(lines)
+
+
+def save_series_csv(path: PathLike, series: Mapping[str, Sequence[tuple]],
+                    x_name: str = "x", y_name: str = "y") -> None:
+    """Write ``label -> [(x, y), ...]`` series to a long-format CSV file."""
+    os.makedirs(os.path.dirname(os.fspath(path)) or ".", exist_ok=True)
+    with open(path, "w") as handle:
+        handle.write(f"series,{x_name},{y_name}\n")
+        for label, pts in series.items():
+            for x, y in pts:
+                handle.write(f"{label},{x},{y}\n")

@@ -1,0 +1,52 @@
+"""Plain-text / CSV table formatting for benchmark output."""
+
+from __future__ import annotations
+
+import csv
+import os
+from typing import Iterable, List, Mapping, Optional, Sequence, Union
+
+PathLike = Union[str, os.PathLike]
+
+
+def _format_value(value, floatfmt: str) -> str:
+    if isinstance(value, float):
+        return format(value, floatfmt)
+    return str(value)
+
+
+def format_table(rows: Sequence[Mapping], columns: Optional[Sequence[str]] = None,
+                 title: Optional[str] = None, floatfmt: str = ".3g") -> str:
+    """Render a list of dict rows as an aligned plain-text table."""
+    rows = list(rows)
+    if not rows:
+        return (title + "\n" if title else "") + "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    cells = [[_format_value(row.get(col, ""), floatfmt) for col in columns] for row in rows]
+    widths = [max(len(col), *(len(c[i]) for c in cells)) for i, col in enumerate(columns)]
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(col.ljust(w) for col, w in zip(columns, widths))
+    lines.append(header)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row_cells in cells:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row_cells, widths)))
+    return "\n".join(lines)
+
+
+def write_csv(path: PathLike, rows: Sequence[Mapping],
+              columns: Optional[Sequence[str]] = None) -> None:
+    """Write dict rows to a CSV file (used by the benchmark harness)."""
+    rows = list(rows)
+    if not rows:
+        raise ValueError("cannot write an empty table")
+    if columns is None:
+        columns = list(rows[0].keys())
+    os.makedirs(os.path.dirname(os.fspath(path)) or ".", exist_ok=True)
+    with open(path, "w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=list(columns), extrasaction="ignore")
+        writer.writeheader()
+        for row in rows:
+            writer.writerow(row)

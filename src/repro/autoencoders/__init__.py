@@ -1,0 +1,43 @@
+"""Autoencoder zoo.
+
+The AE-SZ predictor is a blockwise convolutional Sliced-Wasserstein
+Autoencoder (SWAE).  For the model comparison of paper Table I the package
+also provides a vanilla AE, VAE, beta-VAE, DIP-VAE, Info-VAE, LogCosh-VAE and
+WAE — all sharing the same convolutional encoder/decoder (Fig. 3/4) and
+differing only in their latent regularizer / reconstruction loss — plus the
+two comparator architectures AE-A (fully connected, Liu et al.) and AE-B
+(residual convolutional, Glaws et al.).
+"""
+
+from repro.autoencoders.config import AutoencoderConfig
+from repro.autoencoders.base import BlockAutoencoder
+from repro.autoencoders.conv_ae import ConvAutoencoder, build_encoder, build_decoder
+from repro.autoencoders.vanilla import VanillaAutoencoder
+from repro.autoencoders.swae import SlicedWassersteinAutoencoder
+from repro.autoencoders.wae import WassersteinAutoencoder
+from repro.autoencoders.vae import VariationalAutoencoder, BetaVAE, LogCoshVAE
+from repro.autoencoders.dip_vae import DIPVAE
+from repro.autoencoders.info_vae import InfoVAE
+from repro.autoencoders.ae_a import FullyConnectedAutoencoder
+from repro.autoencoders.ae_b import ResidualConvAutoencoder
+from repro.autoencoders.factory import AE_REGISTRY, create_autoencoder
+
+__all__ = [
+    "AutoencoderConfig",
+    "BlockAutoencoder",
+    "ConvAutoencoder",
+    "build_encoder",
+    "build_decoder",
+    "VanillaAutoencoder",
+    "SlicedWassersteinAutoencoder",
+    "WassersteinAutoencoder",
+    "VariationalAutoencoder",
+    "BetaVAE",
+    "LogCoshVAE",
+    "DIPVAE",
+    "InfoVAE",
+    "FullyConnectedAutoencoder",
+    "ResidualConvAutoencoder",
+    "AE_REGISTRY",
+    "create_autoencoder",
+]

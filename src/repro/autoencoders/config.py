@@ -1,0 +1,83 @@
+"""Autoencoder architecture configuration (paper Table VI)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass
+class AutoencoderConfig:
+    """Architecture hyper-parameters of the blockwise convolutional AE.
+
+    Attributes
+    ----------
+    ndim:
+        Spatial dimensionality of the data blocks (2 or 3; 1 is supported for
+        the AE-A comparator path).
+    block_size:
+        Edge length of the (cubic/square) input block, e.g. 32 for 32x32 or 8
+        for 8x8x8 (paper Section IV-D).
+    latent_size:
+        Length of the latent vector per block (paper Table VI).
+    channels:
+        Output channels of each convolutional block in the encoder; the decoder
+        mirrors them.  The paper uses [32, 64, 128, 256] (2D) / [32, 64, 128]
+        (3D); the defaults here are scaled down for CPU training but any width
+        can be configured.
+    kernel_size:
+        Convolution kernel edge (3 in the paper).
+    seed:
+        Weight-initialization seed.
+    """
+
+    ndim: int = 2
+    block_size: int = 32
+    latent_size: int = 16
+    channels: Tuple[int, ...] = (8, 16, 32, 64)
+    kernel_size: int = 3
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.ndim not in (1, 2, 3):
+            raise ValueError(f"ndim must be 1, 2 or 3, got {self.ndim}")
+        if self.block_size <= 0:
+            raise ValueError("block_size must be positive")
+        if self.latent_size <= 0:
+            raise ValueError("latent_size must be positive")
+        self.channels = tuple(int(c) for c in self.channels)
+        if not self.channels or any(c <= 0 for c in self.channels):
+            raise ValueError("channels must be a non-empty tuple of positive ints")
+        n_blocks = len(self.channels)
+        if self.block_size % (2**n_blocks) != 0 and self.block_size // (2**n_blocks) == 0:
+            raise ValueError(
+                f"block_size {self.block_size} too small for {n_blocks} stride-2 stages"
+            )
+
+    @property
+    def block_shape(self) -> Tuple[int, ...]:
+        return (self.block_size,) * self.ndim
+
+    @property
+    def block_elements(self) -> int:
+        return int(self.block_size**self.ndim)
+
+    @property
+    def reduced_spatial(self) -> Tuple[int, ...]:
+        """Spatial extent after all stride-2 stages of the encoder."""
+        size = self.block_size
+        for _ in self.channels:
+            size = max(1, (size + 1) // 2)
+        return (size,) * self.ndim
+
+    @property
+    def bottleneck_features(self) -> int:
+        """Flattened feature count feeding the latent fully-connected layer."""
+        return int(self.channels[-1] * np.prod(self.reduced_spatial))
+
+    @property
+    def latent_ratio(self) -> float:
+        """Input elements per latent element (the paper's "latent ratio")."""
+        return self.block_elements / self.latent_size

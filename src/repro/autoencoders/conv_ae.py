@@ -1,0 +1,95 @@
+"""The blockwise convolutional encoder/decoder of AE-SZ (paper Fig. 3 and 4).
+
+Encoder: repeated [Conv(stride 1) -> Conv(stride 2) -> GDN] blocks followed by
+a fully-connected layer producing the latent vector.  Decoder: the mirror
+image with transposed convolutions and iGDN, plus a final convolution + Tanh
+output stage.  The same builder covers 2D and 3D by switching the convolution
+dimensionality.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.autoencoders.base import BlockAutoencoder
+from repro.autoencoders.config import AutoencoderConfig
+from repro.nn.layers.activations import Tanh
+from repro.nn.layers.conv import Conv2d, Conv3d, ConvNd
+from repro.nn.layers.conv_transpose import ConvTranspose2d, ConvTranspose3d, ConvTransposeNd
+from repro.nn.layers.dense import Dense
+from repro.nn.layers.gdn import GDN, IGDN
+from repro.nn.layers.reshape import Flatten, Reshape
+from repro.nn.network import Sequential
+from repro.utils.rng import as_rng, spawn_rngs
+
+
+def _conv_cls(ndim: int):
+    if ndim == 2:
+        return Conv2d, ConvTranspose2d
+    if ndim == 3:
+        return Conv3d, ConvTranspose3d
+    # 1D support goes through the generic classes.
+    conv = lambda *a, **k: ConvNd(1, *a, **k)      # noqa: E731
+    deconv = lambda *a, **k: ConvTransposeNd(1, *a, **k)  # noqa: E731
+    return conv, deconv
+
+
+def _check_block_size(config: AutoencoderConfig) -> None:
+    if config.block_size % (2 ** len(config.channels)) != 0:
+        raise ValueError(
+            f"block_size {config.block_size} must be divisible by 2^{len(config.channels)} "
+            f"for {len(config.channels)} stride-2 stages"
+        )
+
+
+def build_encoder(config: AutoencoderConfig) -> Sequential:
+    """Encoder network: conv blocks then an FC layer to the latent vector."""
+    _check_block_size(config)
+    conv_cls, _ = _conv_cls(config.ndim)
+    rngs = spawn_rngs(config.seed, 2 * len(config.channels) + 1)
+    layers = []
+    in_ch = 1
+    k = config.kernel_size
+    for i, out_ch in enumerate(config.channels):
+        layers.append(conv_cls(in_ch, out_ch, k, stride=1, padding=k // 2, rng=rngs[2 * i]))
+        layers.append(conv_cls(out_ch, out_ch, k, stride=2, padding=k // 2, rng=rngs[2 * i + 1]))
+        layers.append(GDN(out_ch))
+        in_ch = out_ch
+    layers.append(Flatten())
+    layers.append(Dense(config.bottleneck_features, config.latent_size, rng=rngs[-1]))
+    return Sequential(*layers)
+
+
+def build_decoder(config: AutoencoderConfig) -> Sequential:
+    """Decoder network: FC, reshape, mirrored deconv blocks, final conv + Tanh."""
+    _check_block_size(config)
+    conv_cls, deconv_cls = _conv_cls(config.ndim)
+    rngs = spawn_rngs(config.seed + 1, 2 * len(config.channels) + 3)
+    k = config.kernel_size
+    layers = [
+        Dense(config.latent_size, config.bottleneck_features, rng=rngs[0]),
+        Reshape((config.channels[-1],) + config.reduced_spatial),
+    ]
+    reversed_channels = list(reversed(config.channels))
+    for i, in_ch in enumerate(reversed_channels):
+        out_ch = reversed_channels[i + 1] if i + 1 < len(reversed_channels) else reversed_channels[-1]
+        layers.append(deconv_cls(in_ch, in_ch, k, stride=1, padding=k // 2, rng=rngs[2 * i + 1]))
+        layers.append(
+            deconv_cls(in_ch, out_ch, k, stride=2, padding=k // 2, output_padding=1,
+                       rng=rngs[2 * i + 2])
+        )
+        layers.append(IGDN(out_ch))
+    layers.append(conv_cls(reversed_channels[-1], 1, k, stride=1, padding=k // 2, rng=rngs[-1]))
+    layers.append(Tanh())
+    return Sequential(*layers)
+
+
+class ConvAutoencoder(BlockAutoencoder):
+    """The AE-SZ convolutional autoencoder (no latent regularization by itself)."""
+
+    def __init__(self, config: AutoencoderConfig, reconstruction_loss=None):
+        encoder = build_encoder(config)
+        decoder = build_decoder(config)
+        super().__init__(encoder, decoder, config, reconstruction_loss)

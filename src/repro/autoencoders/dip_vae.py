@@ -1,0 +1,27 @@
+"""DIP-VAE comparator (Kumar et al., 2018)."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.autoencoders.config import AutoencoderConfig
+from repro.autoencoders.divergences import dip_covariance_penalty
+from repro.autoencoders.vae import VariationalAutoencoder
+
+
+class DIPVAE(VariationalAutoencoder):
+    """VAE with the DIP-VAE-I disentanglement penalty on the inferred means."""
+
+    def __init__(self, config: AutoencoderConfig, beta: float = 1.0,
+                 lambda_offdiag: float = 5.0, lambda_diag: float = 5.0):
+        super().__init__(config, beta=beta)
+        self.lambda_offdiag = float(lambda_offdiag)
+        self.lambda_diag = float(lambda_diag)
+
+    def extra_latent_penalty(self, mu: np.ndarray, logvar: np.ndarray, z: np.ndarray
+                             ) -> Tuple[float, np.ndarray, np.ndarray, np.ndarray]:
+        loss, grad_mu = dip_covariance_penalty(mu, self.lambda_offdiag, self.lambda_diag)
+        scale = self.kl_scale
+        return scale * loss, scale * grad_mu, np.zeros_like(logvar), np.zeros_like(z)

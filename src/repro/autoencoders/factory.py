@@ -1,0 +1,33 @@
+"""Autoencoder registry (the eight model types compared in paper Table I)."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.autoencoders.config import AutoencoderConfig
+from repro.autoencoders.base import BlockAutoencoder
+from repro.autoencoders.dip_vae import DIPVAE
+from repro.autoencoders.info_vae import InfoVAE
+from repro.autoencoders.swae import SlicedWassersteinAutoencoder
+from repro.autoencoders.vae import BetaVAE, LogCoshVAE, VariationalAutoencoder
+from repro.autoencoders.vanilla import VanillaAutoencoder
+from repro.autoencoders.wae import WassersteinAutoencoder
+
+AE_REGISTRY: Dict[str, Callable[[AutoencoderConfig], BlockAutoencoder]] = {
+    "ae": VanillaAutoencoder,
+    "vae": VariationalAutoencoder,
+    "beta-vae": BetaVAE,
+    "dip-vae": DIPVAE,
+    "info-vae": InfoVAE,
+    "logcosh-vae": LogCoshVAE,
+    "wae": WassersteinAutoencoder,
+    "swae": SlicedWassersteinAutoencoder,
+}
+
+
+def create_autoencoder(kind: str, config: AutoencoderConfig, **kwargs) -> BlockAutoencoder:
+    """Instantiate an autoencoder by registry name (case-insensitive)."""
+    key = kind.lower()
+    if key not in AE_REGISTRY:
+        raise KeyError(f"unknown autoencoder type {kind!r}; choices: {sorted(AE_REGISTRY)}")
+    return AE_REGISTRY[key](config, **kwargs)

@@ -1,0 +1,13 @@
+"""Vanilla autoencoder: the convolutional network with a pure reconstruction loss."""
+
+from __future__ import annotations
+
+from repro.autoencoders.config import AutoencoderConfig
+from repro.autoencoders.conv_ae import ConvAutoencoder
+
+
+class VanillaAutoencoder(ConvAutoencoder):
+    """Plain AE (the "AE" row of paper Table I): MSE reconstruction, no regularizer."""
+
+    def __init__(self, config: AutoencoderConfig):
+        super().__init__(config)

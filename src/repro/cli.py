@@ -1,0 +1,185 @@
+"""Command-line interface: train, compress, decompress and inspect.
+
+Gives the library the same day-to-day ergonomics as the SZ/ZFP command-line
+tools, operating on raw SDRBench-style binary files::
+
+    # train a model on one or more snapshots of a field
+    python -m repro train --model swae.npz --dims 256 512 --block-size 32 \
+        --latent-size 16 snapshot0.f32 snapshot1.f32
+
+    # compress / decompress with a value-range-relative error bound
+    python -m repro compress   --model swae.npz --dims 256 512 --error-bound 1e-2 \
+        snapshot9.f32 snapshot9.aesz
+    python -m repro decompress --model swae.npz --dims 256 512 \
+        snapshot9.aesz snapshot9.out.f32
+
+    # compare against the original and print ratio / PSNR / max error
+    python -m repro info --dims 256 512 snapshot9.f32 snapshot9.out.f32
+
+Baseline compressors are available through ``--compressor`` (``aesz`` needs a
+trained ``--model``; ``sz21``, ``zfp``, ``szauto`` and ``szinterp`` do not).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.autoencoders import AutoencoderConfig, SlicedWassersteinAutoencoder
+from repro.compressors import SZ21Compressor, SZAutoCompressor, SZInterpCompressor, ZFPCompressor
+from repro.core import AESZCompressor, AESZConfig
+from repro.data.loader import load_f32, save_f32
+from repro.metrics import compression_ratio, max_rel_error, psnr
+from repro.nn import TrainingConfig
+
+BASELINES = {
+    "sz21": SZ21Compressor,
+    "zfp": ZFPCompressor,
+    "szauto": SZAutoCompressor,
+    "szinterp": SZInterpCompressor,
+}
+
+
+def _add_dims(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--dims", type=int, nargs="+", required=True,
+                        help="field dimensions, e.g. --dims 256 512 or --dims 64 64 64")
+
+
+def _ae_config_from_args(args: argparse.Namespace) -> AutoencoderConfig:
+    return AutoencoderConfig(ndim=len(args.dims), block_size=args.block_size,
+                             latent_size=args.latent_size,
+                             channels=tuple(args.channels), seed=args.seed)
+
+
+def _load_aesz(args: argparse.Namespace) -> AESZCompressor:
+    config = _ae_config_from_args(args)
+    model = SlicedWassersteinAutoencoder(config)
+    model.load(args.model)
+    return AESZCompressor(model, AESZConfig(block_size=config.block_size))
+
+
+def _make_compressor(args: argparse.Namespace):
+    if args.compressor == "aesz":
+        if not args.model:
+            raise SystemExit("--model is required for the aesz compressor")
+        return _load_aesz(args)
+    return BASELINES[args.compressor]()
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro",
+                                     description="AE-SZ error-bounded lossy compression")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    # ------------------------------------------------------------------ train
+    train = sub.add_parser("train", help="train an AE-SZ autoencoder on snapshots")
+    _add_dims(train)
+    train.add_argument("snapshots", nargs="+", help="raw float32 snapshot files")
+    train.add_argument("--model", required=True, help="output .npz model path")
+    train.add_argument("--block-size", type=int, default=32)
+    train.add_argument("--latent-size", type=int, default=16)
+    train.add_argument("--channels", type=int, nargs="+", default=[4, 8])
+    train.add_argument("--epochs", type=int, default=10)
+    train.add_argument("--batch-size", type=int, default=32)
+    train.add_argument("--learning-rate", type=float, default=2e-3)
+    train.add_argument("--max-blocks", type=int, default=1024)
+    train.add_argument("--seed", type=int, default=0)
+
+    # --------------------------------------------------------------- compress
+    comp = sub.add_parser("compress", help="compress a raw float32 field")
+    _add_dims(comp)
+    comp.add_argument("input", help="raw float32 input file")
+    comp.add_argument("output", help="compressed output file")
+    comp.add_argument("--error-bound", type=float, required=True,
+                      help="value-range-relative error bound, e.g. 1e-2")
+    comp.add_argument("--compressor", choices=["aesz"] + sorted(BASELINES), default="aesz")
+    comp.add_argument("--model", help=".npz model (required for aesz)")
+    comp.add_argument("--block-size", type=int, default=32)
+    comp.add_argument("--latent-size", type=int, default=16)
+    comp.add_argument("--channels", type=int, nargs="+", default=[4, 8])
+    comp.add_argument("--seed", type=int, default=0)
+
+    # ------------------------------------------------------------- decompress
+    dec = sub.add_parser("decompress", help="decompress a stream produced by 'compress'")
+    _add_dims(dec)
+    dec.add_argument("input", help="compressed input file")
+    dec.add_argument("output", help="raw float32 output file")
+    dec.add_argument("--compressor", choices=["aesz"] + sorted(BASELINES), default="aesz")
+    dec.add_argument("--model", help=".npz model (required for aesz)")
+    dec.add_argument("--block-size", type=int, default=32)
+    dec.add_argument("--latent-size", type=int, default=16)
+    dec.add_argument("--channels", type=int, nargs="+", default=[4, 8])
+    dec.add_argument("--seed", type=int, default=0)
+
+    # ------------------------------------------------------------------- info
+    info = sub.add_parser("info", help="compare an original and a reconstructed field")
+    _add_dims(info)
+    info.add_argument("original", help="raw float32 original file")
+    info.add_argument("reconstructed", help="raw float32 reconstructed file")
+    info.add_argument("--compressed", help="optional compressed file (for the ratio)")
+    return parser
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    snapshots = [load_f32(path, args.dims).astype(np.float64) for path in args.snapshots]
+    config = _ae_config_from_args(args)
+    model = SlicedWassersteinAutoencoder(config)
+    compressor = AESZCompressor(model, AESZConfig(block_size=config.block_size))
+    history = compressor.train(
+        snapshots,
+        TrainingConfig(epochs=args.epochs, batch_size=args.batch_size,
+                       learning_rate=args.learning_rate, seed=args.seed),
+        max_blocks=args.max_blocks, seed=args.seed)
+    model.save(args.model)
+    print(f"trained on {len(snapshots)} snapshot(s); final loss {history.final_loss:.6f}; "
+          f"model written to {args.model}")
+    return 0
+
+
+def _cmd_compress(args: argparse.Namespace) -> int:
+    data = load_f32(args.input, args.dims).astype(np.float64)
+    compressor = _make_compressor(args)
+    payload = compressor.compress(data, args.error_bound)
+    Path(args.output).write_bytes(payload)
+    print(f"{args.input}: {data.size * 4} -> {len(payload)} bytes "
+          f"(ratio {compression_ratio(data.size * 4, len(payload)):.2f}x)")
+    return 0
+
+
+def _cmd_decompress(args: argparse.Namespace) -> int:
+    payload = Path(args.input).read_bytes()
+    compressor = _make_compressor(args)
+    reconstruction = compressor.decompress(payload)
+    expected = tuple(args.dims)
+    if tuple(reconstruction.shape) != expected:
+        raise SystemExit(f"decompressed shape {reconstruction.shape} != --dims {expected}")
+    save_f32(args.output, reconstruction)
+    print(f"{args.input}: reconstructed field written to {args.output}")
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    original = load_f32(args.original, args.dims).astype(np.float64)
+    reconstructed = load_f32(args.reconstructed, args.dims).astype(np.float64)
+    print(f"PSNR            : {psnr(original, reconstructed):.2f} dB")
+    print(f"max error/range : {max_rel_error(original, reconstructed):.3e}")
+    if args.compressed:
+        nbytes = Path(args.compressed).stat().st_size
+        print(f"compression     : {compression_ratio(original.size * 4, nbytes):.2f}x "
+              f"({nbytes} bytes)")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {"train": _cmd_train, "compress": _cmd_compress,
+                "decompress": _cmd_decompress, "info": _cmd_info}
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests calling main()
+    sys.exit(main())

@@ -1,0 +1,28 @@
+"""Error-bounded lossy compressors used as baselines in the paper's evaluation.
+
+All compressors implement the :class:`repro.compressors.base.Compressor`
+interface (``compress(data, rel_error_bound) -> bytes`` /
+``decompress(bytes) -> ndarray``), which is also satisfied by
+:class:`repro.core.aesz.AESZCompressor`.
+"""
+
+from repro.compressors.base import Compressor, CompressorResult
+from repro.compressors.sz21 import SZ21Compressor
+from repro.compressors.zfp import ZFPCompressor
+from repro.compressors.szauto import SZAutoCompressor
+from repro.compressors.szinterp import SZInterpCompressor
+from repro.compressors.ae_a import AEACompressor
+from repro.compressors.ae_b import AEBCompressor
+from repro.compressors.lossless import LosslessCompressor
+
+__all__ = [
+    "Compressor",
+    "CompressorResult",
+    "SZ21Compressor",
+    "ZFPCompressor",
+    "SZAutoCompressor",
+    "SZInterpCompressor",
+    "AEACompressor",
+    "AEBCompressor",
+    "LosslessCompressor",
+]

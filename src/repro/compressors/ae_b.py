@@ -1,0 +1,82 @@
+"""AE-B comparator compressor (Glaws et al., 2020).
+
+A pure convolutional autoencoder with a *fixed* compression ratio and *no*
+error bound: the compressed stream is simply the latent feature maps stored in
+single precision.  The ``rel_error_bound`` argument is accepted for interface
+compatibility but ignored (exactly the limitation the paper points out).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.autoencoders.ae_b import ResidualConvAutoencoder
+from repro.compressors.base import Compressor
+from repro.core.blocking import BlockGrid, reassemble_blocks, split_into_blocks
+from repro.encoding.container import ByteContainer
+from repro.nn.training import Trainer, TrainingConfig
+from repro.utils.validation import ensure_float_array
+
+
+class AEBCompressor(Compressor):
+    """Fixed-ratio, non-error-bounded convolutional AE compressor."""
+
+    name = "AE-B"
+
+    def __init__(self, autoencoder: Optional[ResidualConvAutoencoder] = None,
+                 block_size: int = 16, ndim: int = 3, seed: int = 0):
+        self.autoencoder = autoencoder or ResidualConvAutoencoder(
+            block_size=block_size, ndim=ndim, seed=seed)
+        self.block_size = self.autoencoder.config.block_size
+
+    def train(self, snapshots: Sequence[np.ndarray],
+              training: Optional[TrainingConfig] = None, max_blocks: int = 2048,
+              seed: int = 0):
+        """Fine-tune / train the residual AE on snapshot blocks."""
+        blocks_list = []
+        for snapshot in snapshots:
+            blocks, _ = split_into_blocks(np.asarray(snapshot, dtype=np.float64),
+                                          self.block_size)
+            blocks_list.append(blocks)
+        all_blocks = np.concatenate(blocks_list, axis=0)
+        if all_blocks.shape[0] > max_blocks:
+            rng = np.random.default_rng(seed)
+            idx = rng.choice(all_blocks.shape[0], size=max_blocks, replace=False)
+            all_blocks = all_blocks[idx]
+        self.autoencoder.fit_normalization(all_blocks)
+        trainer = Trainer(self.autoencoder, config=training or TrainingConfig())
+        return trainer.fit(all_blocks[:, None, ...])
+
+    @property
+    def fixed_compression_ratio(self) -> float:
+        return self.autoencoder.fixed_compression_ratio
+
+    def compress(self, data: np.ndarray, rel_error_bound: float = 0.0) -> bytes:
+        data = ensure_float_array(data, "data")
+        blocks, grid = split_into_blocks(data, self.block_size)
+        latents = []
+        for start in range(0, blocks.shape[0], 256):
+            latents.append(self.autoencoder.encode(blocks[start:start + 256]))
+        latents = np.concatenate(latents, axis=0)
+
+        container = ByteContainer()
+        container.put_json("meta", {
+            "grid": grid.to_dict(),
+            "latent_size": int(latents.shape[1]),
+        })
+        container["latents"] = latents.astype(np.float32).tobytes()
+        return container.to_bytes()
+
+    def decompress(self, payload: bytes) -> np.ndarray:
+        container = ByteContainer.from_bytes(payload)
+        meta = container.get_json("meta")
+        grid = BlockGrid.from_dict(meta["grid"])
+        latent_size = int(meta["latent_size"])
+        latents = np.frombuffer(container["latents"], dtype=np.float32).astype(np.float64)
+        latents = latents.reshape(grid.n_blocks, latent_size)
+        blocks = []
+        for start in range(0, grid.n_blocks, 256):
+            blocks.append(self.autoencoder.decode(latents[start:start + 256]))
+        return reassemble_blocks(np.concatenate(blocks, axis=0), grid)

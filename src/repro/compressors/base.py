@@ -1,0 +1,66 @@
+"""Common compressor interface and result record."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.metrics.error import max_abs_error, psnr
+from repro.metrics.rate import bit_rate, compression_ratio
+
+
+class Compressor:
+    """Interface of every (de)compressor in the library.
+
+    ``rel_error_bound`` is a value-range-based relative bound, matching the
+    paper's experimental configuration (Section V-A5); the absolute bound is
+    derived per input as ``eps * (max(D) - min(D))``.
+    """
+
+    name: str = "compressor"
+
+    def compress(self, data: np.ndarray, rel_error_bound: float) -> bytes:
+        raise NotImplementedError
+
+    def decompress(self, payload: bytes) -> np.ndarray:
+        raise NotImplementedError
+
+    # Convenience -----------------------------------------------------------
+    def roundtrip(self, data: np.ndarray, rel_error_bound: float) -> "CompressorResult":
+        """Compress + decompress and collect the standard quality metrics."""
+        data = np.asarray(data)
+        payload = self.compress(data, rel_error_bound)
+        reconstructed = self.decompress(payload)
+        return CompressorResult(
+            compressor=self.name,
+            rel_error_bound=float(rel_error_bound),
+            compressed_bytes=len(payload),
+            original_bytes=int(data.size * 4),
+            psnr=psnr(data, reconstructed),
+            max_abs_error=max_abs_error(data, reconstructed),
+            reconstructed=reconstructed,
+        )
+
+
+@dataclass
+class CompressorResult:
+    """Metrics of one compress/decompress round trip."""
+
+    compressor: str
+    rel_error_bound: float
+    compressed_bytes: int
+    original_bytes: int
+    psnr: float
+    max_abs_error: float
+    reconstructed: Optional[np.ndarray] = None
+
+    @property
+    def compression_ratio(self) -> float:
+        return compression_ratio(self.original_bytes, self.compressed_bytes)
+
+    @property
+    def bit_rate(self) -> float:
+        n_points = self.original_bytes // 4
+        return bit_rate(self.compressed_bytes, n_points)

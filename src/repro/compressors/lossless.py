@@ -1,0 +1,32 @@
+"""Lossless reference compressor (the ~2:1 baseline mentioned in the paper's intro)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compressors.base import Compressor
+from repro.encoding.container import ByteContainer
+from repro.encoding.lossless import get_backend
+from repro.utils.validation import ensure_float_array
+
+
+class LosslessCompressor(Compressor):
+    """Dictionary-code the raw float bytes; reconstruction is exact."""
+
+    name = "lossless"
+
+    def __init__(self, backend: str = "zlib"):
+        self._backend = get_backend(backend)
+
+    def compress(self, data: np.ndarray, rel_error_bound: float = 0.0) -> bytes:
+        data = np.asarray(data)
+        container = ByteContainer()
+        container.put_json("meta", {"shape": list(data.shape), "dtype": data.dtype.str})
+        container["raw"] = self._backend.compress(np.ascontiguousarray(data).tobytes())
+        return container.to_bytes()
+
+    def decompress(self, payload: bytes) -> np.ndarray:
+        container = ByteContainer.from_bytes(payload)
+        meta = container.get_json("meta")
+        raw = self._backend.decompress(container["raw"])
+        return np.frombuffer(raw, dtype=np.dtype(meta["dtype"])).reshape(meta["shape"]).copy()

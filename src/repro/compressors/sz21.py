@@ -1,0 +1,230 @@
+"""SZ2.1-style error-bounded lossy compressor (Liang et al., 2018).
+
+SZ2.1 is the main prediction-based baseline of the paper: data are processed
+in small blocks and each block is predicted either by the first-order Lorenzo
+predictor (using *reconstructed* neighbour values, which is what limits SZ2.1
+at large error bounds) or by a blockwise linear-regression hyperplane; the
+prediction errors go through linear-scale quantization, Huffman coding and a
+dictionary pass.
+
+The in-block Lorenzo scan is inherently sequential (each point's prediction
+depends on the just-reconstructed neighbours); it is implemented as a tight
+Python loop over the block, which is the faithful formulation — see DESIGN.md
+for the performance note.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.compressors.base import Compressor
+from repro.core.blocking import BlockGrid, reassemble_blocks, split_into_blocks
+from repro.encoding.container import ByteContainer
+from repro.encoding.entropy import EntropyCodec
+from repro.encoding.lossless import get_backend
+from repro.predictors.lorenzo import lorenzo_predict
+from repro.predictors.regression import LinearRegressionPredictor
+from repro.quantization.linear import UNPREDICTABLE_CODE
+from repro.utils.validation import ensure_float_array, ensure_positive, value_range
+
+FLAG_LORENZO = 0
+FLAG_REGRESSION = 1
+
+
+def _sequential_lorenzo_encode(block: np.ndarray, error_bound: float, num_bins: int
+                               ) -> Tuple[np.ndarray, List[float], np.ndarray]:
+    """Classic SZ Lorenzo scan: predict from reconstructed neighbours, quantize."""
+    step = 2.0 * error_bound
+    center = num_bins // 2
+    recon = np.zeros_like(block)
+    codes = np.zeros(block.shape, dtype=np.int64)
+    unpred: List[float] = []
+    it = np.ndindex(*block.shape)
+    ndim = block.ndim
+    for idx in it:
+        if ndim == 1:
+            (i,) = idx
+            pred = recon[i - 1] if i > 0 else 0.0
+        elif ndim == 2:
+            i, j = idx
+            a = recon[i, j - 1] if j > 0 else 0.0
+            b = recon[i - 1, j] if i > 0 else 0.0
+            c = recon[i - 1, j - 1] if (i > 0 and j > 0) else 0.0
+            pred = a + b - c
+        else:
+            i, j, k = idx
+            f = lambda di, dj, dk: (  # noqa: E731
+                recon[i - di, j - dj, k - dk]
+                if (i - di >= 0 and j - dj >= 0 and k - dk >= 0) else 0.0
+            )
+            pred = (f(0, 0, 1) + f(0, 1, 0) + f(1, 0, 0)
+                    - f(0, 1, 1) - f(1, 0, 1) - f(1, 1, 0) + f(1, 1, 1))
+        orig = block[idx]
+        q = int(round((orig - pred) / step))
+        code = q + center
+        value = pred + step * q
+        if 1 <= code < num_bins and abs(value - orig) <= error_bound:
+            codes[idx] = code
+            recon[idx] = value
+        else:
+            codes[idx] = UNPREDICTABLE_CODE
+            snapped = round(orig / step) * step
+            if abs(snapped - orig) > error_bound:
+                snapped = orig
+            unpred.append(float(snapped))
+            recon[idx] = snapped
+    return codes, unpred, recon
+
+
+def _sequential_lorenzo_decode(codes: np.ndarray, unpred: np.ndarray, error_bound: float,
+                               num_bins: int) -> np.ndarray:
+    """Invert :func:`_sequential_lorenzo_encode`."""
+    step = 2.0 * error_bound
+    center = num_bins // 2
+    recon = np.zeros(codes.shape, dtype=np.float64)
+    unpred_iter = iter(np.asarray(unpred, dtype=np.float64).tolist())
+    ndim = codes.ndim
+    for idx in np.ndindex(*codes.shape):
+        if ndim == 1:
+            (i,) = idx
+            pred = recon[i - 1] if i > 0 else 0.0
+        elif ndim == 2:
+            i, j = idx
+            a = recon[i, j - 1] if j > 0 else 0.0
+            b = recon[i - 1, j] if i > 0 else 0.0
+            c = recon[i - 1, j - 1] if (i > 0 and j > 0) else 0.0
+            pred = a + b - c
+        else:
+            i, j, k = idx
+            f = lambda di, dj, dk: (  # noqa: E731
+                recon[i - di, j - dj, k - dk]
+                if (i - di >= 0 and j - dj >= 0 and k - dk >= 0) else 0.0
+            )
+            pred = (f(0, 0, 1) + f(0, 1, 0) + f(1, 0, 0)
+                    - f(0, 1, 1) - f(1, 0, 1) - f(1, 1, 0) + f(1, 1, 1))
+        code = int(codes[idx])
+        if code == UNPREDICTABLE_CODE:
+            recon[idx] = next(unpred_iter)
+        else:
+            recon[idx] = pred + step * (code - center)
+    return recon
+
+
+class SZ21Compressor(Compressor):
+    """Blockwise Lorenzo + linear-regression compressor in the SZ2.1 style."""
+
+    name = "SZ2.1"
+
+    def __init__(self, block_size_2d: int = 16, block_size_3d: int = 8,
+                 num_bins: int = 65536, lossless_backend: str = "zlib"):
+        self.block_size_2d = int(block_size_2d)
+        self.block_size_3d = int(block_size_3d)
+        self.num_bins = int(num_bins)
+        self._entropy = EntropyCodec(backend=get_backend(lossless_backend))
+        self._backend = get_backend(lossless_backend)
+        self._regression = LinearRegressionPredictor()
+
+    def _block_size(self, ndim: int) -> int:
+        if ndim >= 3:
+            return self.block_size_3d
+        return self.block_size_2d
+
+    # ----------------------------------------------------------------- compress
+    def compress(self, data: np.ndarray, rel_error_bound: float) -> bytes:
+        ensure_positive(rel_error_bound, "rel_error_bound")
+        data = ensure_float_array(data, "data")
+        vrange = value_range(data)
+        abs_eb = rel_error_bound * vrange if vrange > 0 else rel_error_bound
+
+        blocks, grid = split_into_blocks(data, self._block_size(data.ndim))
+        n_blocks = blocks.shape[0]
+        block_axes = tuple(range(1, blocks.ndim))
+
+        flags = np.zeros(n_blocks, dtype=np.uint8)
+        all_codes: List[np.ndarray] = []
+        all_unpred: List[float] = []
+        reg_coefs: List[np.ndarray] = []
+
+        # Pre-compute selection losses (on original data, as SZ2.1's sampling does).
+        for b in range(n_blocks):
+            block = blocks[b]
+            reg_pred, coef = self._regression.fit_predict(block, abs_eb)
+            reg_loss = np.abs(block - reg_pred).mean()
+            lor_loss = np.abs(block - lorenzo_predict(block)).mean()
+            if reg_loss < lor_loss:
+                flags[b] = FLAG_REGRESSION
+                from repro.quantization.linear import quantize_prediction_errors
+
+                qr = quantize_prediction_errors(block, reg_pred, abs_eb, self.num_bins)
+                all_codes.append(qr.codes.ravel())
+                all_unpred.extend(qr.unpredictable.tolist())
+                reg_coefs.append(np.asarray(coef.values, dtype=np.float64))
+            else:
+                flags[b] = FLAG_LORENZO
+                codes, unpred, _ = _sequential_lorenzo_encode(block, abs_eb, self.num_bins)
+                all_codes.append(codes.ravel())
+                all_unpred.extend(unpred)
+
+        codes = np.concatenate(all_codes) if all_codes else np.zeros(0, dtype=np.int64)
+        container = ByteContainer()
+        container.put_json("meta", {
+            "grid": grid.to_dict(),
+            "abs_error_bound": float(abs_eb),
+            "rel_error_bound": float(rel_error_bound),
+            "num_bins": int(self.num_bins),
+        })
+        container["flags"] = self._entropy.encode(flags.astype(np.int64))
+        container["codes"] = self._entropy.encode(codes)
+        container["unpred"] = self._backend.compress(
+            np.asarray(all_unpred, dtype=np.float64).tobytes())
+        if reg_coefs:
+            container["coefs"] = self._backend.compress(
+                np.concatenate(reg_coefs).astype(np.float64).tobytes())
+        return container.to_bytes()
+
+    # --------------------------------------------------------------- decompress
+    def decompress(self, payload: bytes) -> np.ndarray:
+        container = ByteContainer.from_bytes(payload)
+        meta = container.get_json("meta")
+        grid = BlockGrid.from_dict(meta["grid"])
+        abs_eb = float(meta["abs_error_bound"])
+        num_bins = int(meta["num_bins"])
+        center = num_bins // 2
+        step = 2.0 * abs_eb
+
+        flags = self._entropy.decode(container["flags"]).astype(np.uint8)
+        codes = self._entropy.decode(container["codes"])
+        unpred = np.frombuffer(self._backend.decompress(container["unpred"]), dtype=np.float64)
+        coefs = (np.frombuffer(self._backend.decompress(container["coefs"]), dtype=np.float64)
+                 if "coefs" in container else np.zeros(0))
+
+        block_shape = grid.block_shape
+        block_elems = int(np.prod(block_shape))
+        n_coef = len(block_shape) + 1
+        blocks = np.zeros((grid.n_blocks,) + block_shape, dtype=np.float64)
+
+        code_pos = 0
+        unpred_pos = 0
+        coef_pos = 0
+        for b in range(grid.n_blocks):
+            block_codes = codes[code_pos:code_pos + block_elems].reshape(block_shape)
+            code_pos += block_elems
+            n_unp = int(np.count_nonzero(block_codes == UNPREDICTABLE_CODE))
+            block_unpred = unpred[unpred_pos:unpred_pos + n_unp]
+            unpred_pos += n_unp
+            if flags[b] == FLAG_REGRESSION:
+                coef = coefs[coef_pos:coef_pos + n_coef]
+                coef_pos += n_coef
+                from repro.predictors.regression import RegressionCoefficients
+
+                pred = self._regression.predict(block_shape, RegressionCoefficients(coef))
+                from repro.quantization.linear import dequantize_prediction_errors
+
+                blocks[b] = dequantize_prediction_errors(block_codes, pred, block_unpred,
+                                                         abs_eb, num_bins)
+            else:
+                blocks[b] = _sequential_lorenzo_decode(block_codes, block_unpred, abs_eb,
+                                                       num_bins)
+        return reassemble_blocks(blocks, grid)

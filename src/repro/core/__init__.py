@@ -1,0 +1,25 @@
+"""AE-SZ: the paper's primary contribution.
+
+``AESZCompressor`` implements the full pipeline of Fig. 2 / Algorithm 1:
+block splitting, per-block prediction by a pre-trained convolutional
+autoencoder or (mean-)Lorenzo, error-controlled linear-scale quantization,
+lossy latent-vector compression, and Huffman + dictionary coding.
+"""
+
+from repro.core.config import AESZConfig, AutoencoderConfig, default_autoencoder_config
+from repro.core.blocking import BlockGrid, split_into_blocks, reassemble_blocks
+from repro.core.latent_codec import LatentCodec, LatentEncoding
+from repro.core.aesz import AESZCompressor, CompressionStats
+
+__all__ = [
+    "AESZConfig",
+    "AutoencoderConfig",
+    "default_autoencoder_config",
+    "BlockGrid",
+    "split_into_blocks",
+    "reassemble_blocks",
+    "LatentCodec",
+    "LatentEncoding",
+    "AESZCompressor",
+    "CompressionStats",
+]

@@ -1,0 +1,87 @@
+"""Configuration objects for the AE-SZ compressor."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.autoencoders.config import AutoencoderConfig
+
+# Paper Table VI (original channel widths); the scaled defaults below divide the
+# widths by 8 so the pure-NumPy implementation trains in CPU-friendly time.
+PAPER_TABLE_VI = {
+    "CESM-CLDHGH": dict(ndim=2, block_size=32, latent_size=16, channels=(32, 64, 128, 256)),
+    "CESM-FREQSH": dict(ndim=2, block_size=32, latent_size=32, channels=(32, 64, 128, 256)),
+    "EXAFEL-raw": dict(ndim=2, block_size=32, latent_size=16, channels=(32, 64, 128, 256)),
+    "RTM-snapshot": dict(ndim=3, block_size=16, latent_size=16, channels=(32, 64, 128, 256)),
+    "NYX-baryon_density": dict(ndim=3, block_size=8, latent_size=16, channels=(32, 64, 128)),
+    "NYX-temperature": dict(ndim=3, block_size=8, latent_size=16, channels=(32, 64, 128)),
+    "NYX-dark_matter_density": dict(ndim=3, block_size=8, latent_size=16, channels=(32, 64, 128)),
+    "Hurricane-U": dict(ndim=3, block_size=8, latent_size=8, channels=(32, 64, 128)),
+    "Hurricane-QVAPOR": dict(ndim=3, block_size=8, latent_size=16, channels=(32, 64, 128)),
+}
+
+_SCALE_DIVISOR = 8
+
+
+def default_autoencoder_config(field_name: str, scaled: bool = True,
+                               seed: int = 0) -> AutoencoderConfig:
+    """Autoencoder configuration for a known field (paper Table VI).
+
+    ``scaled=True`` (default) divides the channel widths by 8 and caps the
+    number of stages so training is tractable on CPU; ``scaled=False`` returns
+    the exact paper configuration.
+    """
+    if field_name not in PAPER_TABLE_VI:
+        raise KeyError(
+            f"no Table VI configuration for {field_name!r}; choices: {sorted(PAPER_TABLE_VI)}"
+        )
+    entry = dict(PAPER_TABLE_VI[field_name])
+    channels = entry.pop("channels")
+    if scaled:
+        channels = tuple(max(4, c // _SCALE_DIVISOR) for c in channels)
+        # Keep at most 3 stages for 2D-32 blocks and 2 for 8^3 blocks so the
+        # reduced spatial size stays >= 2 and the CPU cost stays low.
+        max_stages = 3 if entry["block_size"] >= 32 else 2
+        channels = channels[:max_stages]
+    return AutoencoderConfig(channels=tuple(channels), seed=seed, **entry)
+
+
+@dataclass
+class AESZConfig:
+    """Compression-pipeline configuration of AE-SZ.
+
+    Attributes
+    ----------
+    block_size:
+        Edge of the square/cubic block (must match the autoencoder's config).
+    num_bins:
+        Maximum number of linear-scale quantization bins (65,536 as in SZ2.1).
+    latent_error_bound_ratio:
+        The latent vectors are lossily compressed with an error bound of
+        ``ratio * e`` (0.1 in the paper, Section IV-E).
+    predictor_mode:
+        ``"hybrid"`` (AE + Lorenzo, the paper's design), ``"ae"`` or
+        ``"lorenzo"`` — the two ablations of Fig. 11.
+    use_mean_lorenzo:
+        Enable the per-block mean fallback of the Lorenzo predictor.
+    lossless_backend:
+        Name of the dictionary backend applied after Huffman coding.
+    """
+
+    block_size: int = 32
+    num_bins: int = 65536
+    latent_error_bound_ratio: float = 0.1
+    predictor_mode: str = "hybrid"
+    use_mean_lorenzo: bool = True
+    lossless_backend: str = "zlib"
+
+    def __post_init__(self) -> None:
+        if self.block_size <= 0:
+            raise ValueError("block_size must be positive")
+        if self.num_bins < 2:
+            raise ValueError("num_bins must be >= 2")
+        if not (0 < self.latent_error_bound_ratio <= 1):
+            raise ValueError("latent_error_bound_ratio must be in (0, 1]")
+        if self.predictor_mode not in ("hybrid", "ae", "lorenzo"):
+            raise ValueError("predictor_mode must be 'hybrid', 'ae' or 'lorenzo'")

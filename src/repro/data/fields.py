@@ -1,0 +1,91 @@
+"""Building blocks for synthetic scientific fields."""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, as_rng
+
+
+def gaussian_random_field(
+    shape: Sequence[int],
+    power_exponent: float = 3.0,
+    rng: SeedLike = None,
+    phase_shift: Sequence[float] | None = None,
+) -> np.ndarray:
+    """Isotropic Gaussian random field with power spectrum ``k^-power_exponent``.
+
+    Spectral synthesis: complex white noise is shaped by the target spectrum
+    and inverse-FFT'd.  ``phase_shift`` (in grid units per axis) translates the
+    field periodically, which is how snapshots at different "time steps" are
+    produced while keeping the same statistics.
+
+    The output is normalized to zero mean and unit standard deviation.
+    """
+    shape = tuple(int(s) for s in shape)
+    rng = as_rng(rng)
+    noise = rng.normal(size=shape) + 1j * rng.normal(size=shape)
+    freqs = np.meshgrid(*[np.fft.fftfreq(s) for s in shape], indexing="ij")
+    k = np.sqrt(sum(f**2 for f in freqs))
+    k[(0,) * len(shape)] = 1.0  # avoid division by zero at the DC component
+    amplitude = k ** (-power_exponent / 2.0)
+    amplitude[(0,) * len(shape)] = 0.0
+    spectrum = noise * amplitude
+    if phase_shift is not None:
+        phase = sum(
+            -2j * np.pi * f * float(d) for f, d in zip(freqs, phase_shift)
+        )
+        spectrum = spectrum * np.exp(phase)
+    field = np.real(np.fft.ifftn(spectrum))
+    std = field.std()
+    if std > 0:
+        field = (field - field.mean()) / std
+    return field
+
+
+def radial_coordinates(shape: Sequence[int], center: Sequence[float] | None = None
+                       ) -> np.ndarray:
+    """Euclidean distance of every grid point from ``center`` (default: middle)."""
+    shape = tuple(int(s) for s in shape)
+    if center is None:
+        center = [(s - 1) / 2.0 for s in shape]
+    grids = np.meshgrid(*[np.arange(s, dtype=np.float64) for s in shape], indexing="ij")
+    return np.sqrt(sum((g - c) ** 2 for g, c in zip(grids, center)))
+
+
+def gaussian_bumps(
+    shape: Sequence[int],
+    n_bumps: int,
+    amplitude_range: Tuple[float, float],
+    width_range: Tuple[float, float],
+    rng: SeedLike = None,
+) -> np.ndarray:
+    """Sum of randomly placed Gaussian bumps (halos, Bragg peaks, ...)."""
+    shape = tuple(int(s) for s in shape)
+    rng = as_rng(rng)
+    out = np.zeros(shape, dtype=np.float64)
+    grids = np.meshgrid(*[np.arange(s, dtype=np.float64) for s in shape], indexing="ij")
+    for _ in range(int(n_bumps)):
+        center = [rng.uniform(0, s - 1) for s in shape]
+        width = rng.uniform(*width_range)
+        amp = rng.uniform(*amplitude_range)
+        r2 = sum((g - c) ** 2 for g, c in zip(grids, center))
+        out += amp * np.exp(-r2 / (2.0 * width * width))
+    return out
+
+
+def ricker_wavelet(r: np.ndarray, radius: float, width: float) -> np.ndarray:
+    """Ricker ("Mexican hat") wavefront shell at distance ``radius`` from a source."""
+    x = (r - radius) / max(width, 1e-9)
+    return (1.0 - x * x) * np.exp(-0.5 * x * x)
+
+
+def smooth_ramp(shape: Sequence[int], axis: int, low: float, high: float) -> np.ndarray:
+    """Monotone ramp along one axis (latitudinal / vertical background gradients)."""
+    shape = tuple(int(s) for s in shape)
+    ramp = np.linspace(low, high, shape[axis])
+    view = [1] * len(shape)
+    view[axis] = shape[axis]
+    return np.broadcast_to(ramp.reshape(view), shape).copy()

@@ -1,0 +1,176 @@
+"""Per-application synthetic field generators.
+
+Each generator returns one snapshot of one field as ``float32`` (the paper's
+datasets are all single precision).  Snapshots are deterministic in
+``(timestep, seed)``; consecutive time steps are strongly correlated (structures
+advect / evolve), and a different base seed emulates "another simulation run"
+(used for the NYX test split, Table VII).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.fields import (
+    gaussian_bumps,
+    gaussian_random_field,
+    radial_coordinates,
+    ricker_wavelet,
+    smooth_ramp,
+)
+from repro.utils.rng import as_rng, derive_seed
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-x))
+
+
+# --------------------------------------------------------------------------- CESM
+def cesm_cldhgh(shape: Sequence[int], timestep: int, seed: int = 0) -> np.ndarray:
+    """CESM-ATM CLDHGH: high-cloud fraction in [0, 1].
+
+    Real CLDHGH fields combine large-scale cloud systems with considerable
+    pixel-scale variability (sharp cloud edges); both components are modelled
+    here — a smooth advected base plus a rough fine-scale field — because that
+    mix is what drives the Lorenzo-vs-autoencoder trade-off the paper studies.
+    """
+    rng_seed = derive_seed(seed, "cesm", "cldhgh")
+    drift = 1.5 * timestep
+    base = gaussian_random_field(shape, power_exponent=3.2, rng=rng_seed,
+                                 phase_shift=(0.2 * timestep, drift))
+    detail = gaussian_random_field(shape, power_exponent=2.2, rng=rng_seed + 11,
+                                   phase_shift=(0.1 * timestep, 0.6 * drift))
+    bands = smooth_ramp(shape, axis=0, low=-1.0, high=1.0)
+    zonal = np.cos(2.0 * np.pi * (np.linspace(0, 1, shape[0]))[:, None] * 2 + 0.05 * timestep)
+    field = _sigmoid(3.0 * base + 0.6 * detail + 0.8 * zonal - 0.5 * bands**2)
+    return field.astype(np.float32)
+
+
+def cesm_freqsh(shape: Sequence[int], timestep: int, seed: int = 0) -> np.ndarray:
+    """CESM-ATM FREQSH: shallow-convection frequency, sparser and sharper than CLDHGH."""
+    rng_seed = derive_seed(seed, "cesm", "freqsh")
+    drift = 1.1 * timestep
+    base = gaussian_random_field(shape, power_exponent=2.6, rng=rng_seed,
+                                 phase_shift=(0.1 * timestep, drift))
+    detail = gaussian_random_field(shape, power_exponent=2.0, rng=rng_seed + 1,
+                                   phase_shift=(0.05 * timestep, 0.7 * drift))
+    field = _sigmoid(2.5 * base + 0.7 * detail - 0.8)
+    field = np.where(field < 0.15, 0.0, field)  # large dry regions are exactly zero
+    return field.astype(np.float32)
+
+
+# ---------------------------------------------------------------------------- NYX
+def _nyx_log_density(shape: Sequence[int], timestep: int, seed: int, n_halos: int,
+                     halo_amp: Tuple[float, float], beta: float) -> np.ndarray:
+    base_seed = derive_seed(seed, "nyx", beta, n_halos)
+    growth = 1.0 + 0.04 * timestep  # structure growth with decreasing redshift
+    base = gaussian_random_field(shape, power_exponent=beta, rng=base_seed,
+                                 phase_shift=(0.3 * timestep,) * len(tuple(shape)))
+    halos = gaussian_bumps(shape, n_bumps=n_halos, amplitude_range=halo_amp,
+                           width_range=(1.5, 4.0), rng=base_seed + 7)
+    return growth * base + halos
+
+
+def nyx_baryon_density(shape: Sequence[int], timestep: int, seed: int = 0) -> np.ndarray:
+    """NYX baryon density (log10 of the density field, as compressed in the paper)."""
+    log_density = _nyx_log_density(shape, timestep, seed, n_halos=40,
+                                   halo_amp=(1.0, 3.0), beta=2.8)
+    return (log_density + 2.0).astype(np.float32)
+
+
+def nyx_temperature(shape: Sequence[int], timestep: int, seed: int = 0) -> np.ndarray:
+    """NYX temperature (log10 K): correlated with density plus a smooth background."""
+    log_density = _nyx_log_density(shape, timestep, seed, n_halos=25,
+                                   halo_amp=(0.5, 1.5), beta=3.0)
+    background = smooth_ramp(shape, axis=0, low=3.8, high=4.4)
+    return (background + 0.6 * log_density).astype(np.float32)
+
+
+def nyx_dark_matter_density(shape: Sequence[int], timestep: int, seed: int = 0) -> np.ndarray:
+    """NYX dark matter density (log10): more sharply peaked than the baryon field."""
+    log_density = _nyx_log_density(shape, timestep, seed, n_halos=70,
+                                   halo_amp=(1.5, 4.0), beta=2.4)
+    return (log_density + 1.0).astype(np.float32)
+
+
+# ----------------------------------------------------------------------- Hurricane
+def hurricane_u(shape: Sequence[int], timestep: int, seed: int = 0) -> np.ndarray:
+    """Hurricane ISABEL U: zonal wind component of a translating vortex + turbulence."""
+    base_seed = derive_seed(seed, "hurricane", "u")
+    nz, ny, nx = shape
+    cy = ny * (0.35 + 0.004 * timestep)
+    cx = nx * (0.40 + 0.006 * timestep)
+    y, x = np.meshgrid(np.arange(ny, dtype=np.float64), np.arange(nx, dtype=np.float64),
+                       indexing="ij")
+    r = np.sqrt((y - cy) ** 2 + (x - cx) ** 2) + 1e-6
+    r_max = 0.12 * min(ny, nx)
+    # Rankine-like tangential wind profile.
+    v_t = np.where(r < r_max, 60.0 * r / r_max, 60.0 * (r_max / r) ** 0.6)
+    u_plane = -v_t * (y - cy) / r
+    vertical = np.exp(-np.linspace(0, 2.5, nz))[:, None, None]
+    turbulence = gaussian_random_field(shape, power_exponent=2.8, rng=base_seed,
+                                       phase_shift=(0.0, 0.3 * timestep, 0.5 * timestep))
+    field = vertical * u_plane[None, :, :] + 6.0 * turbulence
+    return field.astype(np.float32)
+
+
+def hurricane_qvapor(shape: Sequence[int], timestep: int, seed: int = 0) -> np.ndarray:
+    """Hurricane ISABEL QVAPOR: water-vapor mixing ratio (positive, decays with height)."""
+    base_seed = derive_seed(seed, "hurricane", "qvapor")
+    nz, ny, nx = shape
+    vertical = np.exp(-np.linspace(0, 3.5, nz))[:, None, None]
+    moisture = gaussian_random_field(shape, power_exponent=3.0, rng=base_seed,
+                                     phase_shift=(0.0, 0.2 * timestep, 0.4 * timestep))
+    cy, cx = ny * 0.45, nx * (0.4 + 0.005 * timestep)
+    y, x = np.meshgrid(np.arange(ny, dtype=np.float64), np.arange(nx, dtype=np.float64),
+                       indexing="ij")
+    core = np.exp(-((y - cy) ** 2 + (x - cx) ** 2) / (2 * (0.15 * nx) ** 2))
+    field = 0.02 * vertical * (1.0 + 0.8 * core[None, :, :] + 0.35 * moisture)
+    return np.maximum(field, 0.0).astype(np.float32)
+
+
+# ----------------------------------------------------------------------------- RTM
+def rtm_snapshot(shape: Sequence[int], timestep: int, seed: int = 0) -> np.ndarray:
+    """RTM seismic wavefield: expanding band-limited wavefronts over layered media."""
+    base_seed = derive_seed(seed, "rtm")
+    rng = as_rng(base_seed)
+    r = radial_coordinates(shape, center=[0.1 * shape[0], 0.5 * shape[1], 0.5 * shape[2]])
+    radius = 2.0 + 1.8 * timestep
+    wave = ricker_wavelet(r, radius, width=3.0)
+    # Secondary (reflected) front from a deeper interface.
+    r2 = radial_coordinates(shape, center=[0.9 * shape[0], 0.5 * shape[1], 0.5 * shape[2]])
+    wave2 = 0.5 * ricker_wavelet(r2, radius * 0.7, width=3.5)
+    layers = 0.05 * np.sin(np.linspace(0, 6 * np.pi, shape[0]))[:, None, None]
+    noise = 0.01 * gaussian_random_field(shape, power_exponent=2.0, rng=base_seed + 3)
+    field = wave + wave2 + layers + noise
+    return field.astype(np.float32)
+
+
+# -------------------------------------------------------------------------- EXAFEL
+def exafel_panel(shape: Sequence[int], timestep: int, seed: int = 0) -> np.ndarray:
+    """EXAFEL: X-ray diffraction panels (background + rings + Bragg peaks)."""
+    base_seed = derive_seed(seed, "exafel", timestep)
+    rng = as_rng(base_seed)
+    r = radial_coordinates(shape, center=[shape[0] * 0.5, shape[1] * 1.1])
+    background = 40.0 * np.exp(-r / (0.8 * max(shape)))
+    rings = 12.0 * np.exp(-((np.sin(r / 9.0 + 0.15 * timestep)) ** 2) * 8.0)
+    peaks = gaussian_bumps(shape, n_bumps=60, amplitude_range=(50.0, 400.0),
+                           width_range=(0.8, 1.8), rng=base_seed + 1)
+    noise = rng.normal(scale=2.5, size=tuple(shape))
+    field = background + rings + peaks + noise
+    return np.maximum(field, 0.0).astype(np.float32)
+
+
+GENERATORS: Dict[str, Callable[..., np.ndarray]] = {
+    "CESM-CLDHGH": cesm_cldhgh,
+    "CESM-FREQSH": cesm_freqsh,
+    "NYX-baryon_density": nyx_baryon_density,
+    "NYX-temperature": nyx_temperature,
+    "NYX-dark_matter_density": nyx_dark_matter_density,
+    "Hurricane-U": hurricane_u,
+    "Hurricane-QVAPOR": hurricane_qvapor,
+    "RTM-snapshot": rtm_snapshot,
+    "EXAFEL-raw": exafel_panel,
+}

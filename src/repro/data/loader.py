@@ -1,0 +1,45 @@
+"""Binary snapshot I/O in the SDRBench convention (raw little-endian ``.f32``)."""
+
+from __future__ import annotations
+
+import os
+from typing import Sequence, Tuple, Union
+
+import numpy as np
+
+PathLike = Union[str, os.PathLike]
+
+
+def save_f32(path: PathLike, data: np.ndarray) -> None:
+    """Write a field as raw little-endian float32 (SDRBench layout, C order)."""
+    arr = np.ascontiguousarray(np.asarray(data), dtype="<f4")
+    arr.tofile(path)
+
+
+def load_f32(path: PathLike, shape: Sequence[int]) -> np.ndarray:
+    """Read a raw little-endian float32 field with the given shape."""
+    shape = tuple(int(s) for s in shape)
+    expected = int(np.prod(shape))
+    arr = np.fromfile(path, dtype="<f4")
+    if arr.size != expected:
+        raise ValueError(
+            f"file {path!r} holds {arr.size} float32 values, expected {expected} for shape {shape}"
+        )
+    return arr.reshape(shape)
+
+
+def save_f64(path: PathLike, data: np.ndarray) -> None:
+    """Write a field as raw little-endian float64."""
+    np.ascontiguousarray(np.asarray(data), dtype="<f8").tofile(path)
+
+
+def load_f64(path: PathLike, shape: Sequence[int]) -> np.ndarray:
+    """Read a raw little-endian float64 field with the given shape."""
+    shape = tuple(int(s) for s in shape)
+    expected = int(np.prod(shape))
+    arr = np.fromfile(path, dtype="<f8")
+    if arr.size != expected:
+        raise ValueError(
+            f"file {path!r} holds {arr.size} float64 values, expected {expected} for shape {shape}"
+        )
+    return arr.reshape(shape)

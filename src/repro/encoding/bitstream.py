@@ -1,0 +1,98 @@
+"""Bit-level packing helpers built on ``numpy.packbits`` / ``unpackbits``."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+def pack_bits(bits: np.ndarray) -> bytes:
+    """Pack an array of 0/1 values (most-significant bit first) into bytes."""
+    bits = np.asarray(bits, dtype=np.uint8)
+    if bits.ndim != 1:
+        raise ValueError("bits must be a 1-D array")
+    return np.packbits(bits).tobytes()
+
+
+def unpack_bits(data: bytes, n_bits: int) -> np.ndarray:
+    """Unpack ``n_bits`` bits from ``data`` into a 0/1 uint8 array."""
+    if n_bits < 0:
+        raise ValueError("n_bits must be non-negative")
+    arr = np.frombuffer(data, dtype=np.uint8)
+    bits = np.unpackbits(arr)
+    if bits.size < n_bits:
+        raise ValueError(f"bitstream too short: need {n_bits} bits, have {bits.size}")
+    return bits[:n_bits]
+
+
+class BitWriter:
+    """Accumulate variable-length big-endian bit fields and emit packed bytes."""
+
+    def __init__(self):
+        self._chunks: list[np.ndarray] = []
+        self._n_bits = 0
+
+    @property
+    def n_bits(self) -> int:
+        return self._n_bits
+
+    def write_bits_array(self, bits: np.ndarray) -> None:
+        """Append a 0/1 uint8 array of bits."""
+        bits = np.asarray(bits, dtype=np.uint8).ravel()
+        self._chunks.append(bits)
+        self._n_bits += bits.size
+
+    def write_uint(self, value: int, width: int) -> None:
+        """Append ``value`` as a fixed-width big-endian unsigned field."""
+        if width <= 0 or width > 64:
+            raise ValueError("width must be in [1, 64]")
+        if value < 0 or value >= (1 << width):
+            raise ValueError(f"value {value} does not fit in {width} bits")
+        bits = np.array([(value >> (width - 1 - i)) & 1 for i in range(width)], dtype=np.uint8)
+        self.write_bits_array(bits)
+
+    def getvalue(self) -> bytes:
+        if not self._chunks:
+            return b""
+        all_bits = np.concatenate(self._chunks)
+        return pack_bits(all_bits)
+
+
+class BitReader:
+    """Sequential reader over a packed bitstream."""
+
+    def __init__(self, data: bytes, n_bits: Optional[int] = None):
+        total = len(data) * 8 if n_bits is None else n_bits
+        self._bits = unpack_bits(data, total)
+        self._pos = 0
+
+    @property
+    def remaining(self) -> int:
+        return self._bits.size - self._pos
+
+    def read_bit(self) -> int:
+        if self._pos >= self._bits.size:
+            raise EOFError("bitstream exhausted")
+        bit = int(self._bits[self._pos])
+        self._pos += 1
+        return bit
+
+    def read_uint(self, width: int) -> int:
+        if width <= 0 or width > 64:
+            raise ValueError("width must be in [1, 64]")
+        if self._pos + width > self._bits.size:
+            raise EOFError("bitstream exhausted")
+        value = 0
+        chunk = self._bits[self._pos : self._pos + width]
+        for bit in chunk:
+            value = (value << 1) | int(bit)
+        self._pos += width
+        return value
+
+    def read_bits_array(self, n: int) -> np.ndarray:
+        if self._pos + n > self._bits.size:
+            raise EOFError("bitstream exhausted")
+        out = self._bits[self._pos : self._pos + n]
+        self._pos += n
+        return out

@@ -1,0 +1,114 @@
+"""A tiny tagged byte container used by every compressor's stream format.
+
+Compressed outputs consist of named sections (header metadata, latent stream,
+quantization codes, unpredictable values, ...).  ``ByteContainer`` serializes a
+mapping of section name -> bytes with explicit lengths so decompression never
+guesses offsets.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Dict, Iterable, Mapping
+
+import numpy as np
+
+_MAGIC = b"RPRC"
+_LEN = struct.Struct("<I")
+_QLEN = struct.Struct("<Q")
+
+
+class ByteContainer:
+    """Ordered mapping of named byte sections with a compact binary encoding."""
+
+    def __init__(self, sections: Mapping[str, bytes] | None = None):
+        self._sections: Dict[str, bytes] = {}
+        if sections:
+            for key, value in sections.items():
+                self[key] = value
+
+    # ------------------------------------------------------------- mapping
+    def __setitem__(self, key: str, value: bytes) -> None:
+        if not isinstance(key, str) or not key:
+            raise TypeError("section names must be non-empty strings")
+        if not isinstance(value, (bytes, bytearray, memoryview)):
+            raise TypeError(f"section {key!r} must be bytes, got {type(value)!r}")
+        self._sections[key] = bytes(value)
+
+    def __getitem__(self, key: str) -> bytes:
+        return self._sections[key]
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._sections
+
+    def get(self, key: str, default: bytes = b"") -> bytes:
+        return self._sections.get(key, default)
+
+    def keys(self) -> Iterable[str]:
+        return self._sections.keys()
+
+    def items(self):
+        return self._sections.items()
+
+    def __len__(self) -> int:
+        return len(self._sections)
+
+    # --------------------------------------------------------- json helpers
+    def put_json(self, key: str, obj) -> None:
+        """Store a JSON-serializable object (used for small metadata headers)."""
+        self[key] = json.dumps(obj, separators=(",", ":"), sort_keys=True).encode()
+
+    def get_json(self, key: str):
+        return json.loads(self[key].decode())
+
+    def put_array(self, key: str, arr: np.ndarray) -> None:
+        """Store an ndarray with dtype/shape metadata (lossless, uncompressed)."""
+        arr = np.ascontiguousarray(arr)
+        header = json.dumps({"dtype": arr.dtype.str, "shape": list(arr.shape)}).encode()
+        self[key] = _LEN.pack(len(header)) + header + arr.tobytes()
+
+    def get_array(self, key: str) -> np.ndarray:
+        raw = self[key]
+        (hlen,) = _LEN.unpack_from(raw, 0)
+        meta = json.loads(raw[_LEN.size : _LEN.size + hlen].decode())
+        data = raw[_LEN.size + hlen :]
+        arr = np.frombuffer(data, dtype=np.dtype(meta["dtype"]))
+        return arr.reshape(meta["shape"]).copy()
+
+    # ------------------------------------------------------------ serialize
+    def to_bytes(self) -> bytes:
+        out = bytearray()
+        out += _MAGIC
+        out += _LEN.pack(len(self._sections))
+        for key, value in self._sections.items():
+            kb = key.encode()
+            out += _LEN.pack(len(kb))
+            out += kb
+            out += _QLEN.pack(len(value))
+            out += value
+        return bytes(out)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "ByteContainer":
+        if data[:4] != _MAGIC:
+            raise ValueError("not a repro byte container (bad magic)")
+        pos = 4
+        (n,) = _LEN.unpack_from(data, pos)
+        pos += _LEN.size
+        container = cls()
+        for _ in range(n):
+            (klen,) = _LEN.unpack_from(data, pos)
+            pos += _LEN.size
+            key = data[pos : pos + klen].decode()
+            pos += klen
+            (vlen,) = _QLEN.unpack_from(data, pos)
+            pos += _QLEN.size
+            container[key] = data[pos : pos + vlen]
+            pos += vlen
+        return container
+
+    @property
+    def nbytes(self) -> int:
+        """Total serialized size in bytes."""
+        return len(self.to_bytes())

@@ -1,0 +1,193 @@
+"""Canonical Huffman coding of integer symbol streams.
+
+This is the "Huffman encoding" stage of AE-SZ / SZ2.1 (Algorithm 1, line 17).
+Symbols are the non-negative linear-scale quantization codes.  The encoder is
+fully vectorized with NumPy (bit planes of the per-symbol codes are written in
+at most ``max_code_length`` vectorized passes); the decoder walks the canonical
+code table bit by bit, which is fast enough for the snapshot sizes used in the
+benchmarks.
+
+The byte format produced by :meth:`HuffmanCodec.encode` is self-contained:
+
+``[n_distinct:u32][n_total:u64][max_symbol:u32]``
+``[distinct symbols:u32 * n_distinct][code lengths:u8 * n_distinct]``
+``[n_payload_bits:u64][payload bytes]``
+"""
+
+from __future__ import annotations
+
+import heapq
+import struct
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+_HEADER = struct.Struct("<IQI")
+_BITS_HEADER = struct.Struct("<Q")
+
+MAX_CODE_LENGTH = 63
+
+
+def huffman_code_lengths(counts: np.ndarray) -> np.ndarray:
+    """Compute Huffman code lengths for positive symbol ``counts``.
+
+    Uses the classic heap construction; returns one length per entry of
+    ``counts``.  A single-symbol alphabet gets length 1.
+    """
+    counts = np.asarray(counts, dtype=np.int64)
+    if counts.ndim != 1 or counts.size == 0:
+        raise ValueError("counts must be a non-empty 1-D array")
+    if np.any(counts <= 0):
+        raise ValueError("all counts must be positive")
+    n = counts.size
+    if n == 1:
+        return np.array([1], dtype=np.int64)
+
+    # Heap items: (count, tiebreak, node_id).  Internal nodes get ids >= n.
+    heap: List[Tuple[int, int, int]] = [(int(c), i, i) for i, c in enumerate(counts)]
+    heapq.heapify(heap)
+    parent = np.full(2 * n - 1, -1, dtype=np.int64)
+    next_id = n
+    tiebreak = n
+    while len(heap) > 1:
+        c1, _, id1 = heapq.heappop(heap)
+        c2, _, id2 = heapq.heappop(heap)
+        parent[id1] = next_id
+        parent[id2] = next_id
+        heapq.heappush(heap, (c1 + c2, tiebreak, next_id))
+        next_id += 1
+        tiebreak += 1
+
+    lengths = np.zeros(n, dtype=np.int64)
+    for i in range(n):
+        depth = 0
+        node = i
+        while parent[node] != -1:
+            node = parent[node]
+            depth += 1
+        lengths[i] = depth
+    if lengths.max() > MAX_CODE_LENGTH:
+        raise ValueError(f"Huffman code length exceeds {MAX_CODE_LENGTH} bits")
+    return lengths
+
+
+def _canonical_codes(symbols: np.ndarray, lengths: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Assign canonical codes; returns (sorted_symbols, sorted_lengths, codes)."""
+    order = np.lexsort((symbols, lengths))
+    sym_sorted = symbols[order]
+    len_sorted = lengths[order]
+    codes = np.zeros(len(sym_sorted), dtype=np.uint64)
+    code = 0
+    prev_len = int(len_sorted[0])
+    for i in range(len(sym_sorted)):
+        cur_len = int(len_sorted[i])
+        if i > 0:
+            code = (code + 1) << (cur_len - prev_len)
+        codes[i] = code
+        prev_len = cur_len
+    return sym_sorted, len_sorted, codes
+
+
+class HuffmanCodec:
+    """Self-contained canonical Huffman codec for non-negative integer arrays."""
+
+    def encode(self, symbols: np.ndarray) -> bytes:
+        symbols = np.ascontiguousarray(symbols)
+        if symbols.size == 0:
+            return _HEADER.pack(0, 0, 0) + _BITS_HEADER.pack(0)
+        if not np.issubdtype(symbols.dtype, np.integer):
+            raise TypeError("HuffmanCodec encodes integer symbols only")
+        flat = symbols.ravel().astype(np.int64)
+        if flat.min() < 0:
+            raise ValueError("symbols must be non-negative")
+
+        distinct, inverse, counts = np.unique(flat, return_inverse=True, return_counts=True)
+        lengths = huffman_code_lengths(counts)
+        sym_sorted, len_sorted, codes = _canonical_codes(distinct, lengths)
+
+        # Per-symbol code / length lookup in the order of ``distinct``.
+        lut_order = np.argsort(sym_sorted, kind="stable")
+        # sym_sorted[lut_order] == distinct (both sorted unique), so:
+        code_lut = np.zeros(distinct.size, dtype=np.uint64)
+        len_lut = np.zeros(distinct.size, dtype=np.int64)
+        code_lut[np.searchsorted(distinct, sym_sorted)] = codes
+        len_lut[np.searchsorted(distinct, sym_sorted)] = len_sorted
+
+        sym_codes = code_lut[inverse]
+        sym_lens = len_lut[inverse]
+
+        total_bits = int(sym_lens.sum())
+        offsets = np.concatenate(([0], np.cumsum(sym_lens)[:-1]))
+        bits = np.zeros(total_bits, dtype=np.uint8)
+        max_len = int(sym_lens.max())
+        for b in range(max_len):
+            mask = sym_lens > b
+            if not np.any(mask):
+                break
+            shift = (sym_lens[mask] - 1 - b).astype(np.uint64)
+            bitvals = ((sym_codes[mask] >> shift) & np.uint64(1)).astype(np.uint8)
+            bits[offsets[mask] + b] = bitvals
+
+        payload = np.packbits(bits).tobytes()
+        header = _HEADER.pack(int(distinct.size), int(flat.size), int(distinct.max()))
+        table = distinct.astype(np.uint32).tobytes() + len_lut.astype(np.uint8).tobytes()
+        return header + table + _BITS_HEADER.pack(total_bits) + payload
+
+    def decode(self, data: bytes) -> np.ndarray:
+        if len(data) < _HEADER.size:
+            raise ValueError("truncated Huffman stream")
+        n_distinct, n_total, _max_symbol = _HEADER.unpack_from(data, 0)
+        pos = _HEADER.size
+        if n_distinct == 0:
+            return np.zeros(0, dtype=np.int64)
+
+        distinct = np.frombuffer(data, dtype=np.uint32, count=n_distinct, offset=pos).astype(np.int64)
+        pos += 4 * n_distinct
+        lengths = np.frombuffer(data, dtype=np.uint8, count=n_distinct, offset=pos).astype(np.int64)
+        pos += n_distinct
+        (total_bits,) = _BITS_HEADER.unpack_from(data, pos)
+        pos += _BITS_HEADER.size
+
+        if n_distinct == 1:
+            # Degenerate single-symbol stream.
+            return np.full(n_total, distinct[0], dtype=np.int64)
+
+        sym_sorted, len_sorted, codes = _canonical_codes(distinct, lengths)
+        max_len = int(len_sorted.max())
+
+        # Canonical decode tables indexed by code length.
+        first_code = np.zeros(max_len + 1, dtype=np.int64)
+        first_index = np.zeros(max_len + 1, dtype=np.int64)
+        count_by_len = np.zeros(max_len + 1, dtype=np.int64)
+        for length in range(1, max_len + 1):
+            idx = np.nonzero(len_sorted == length)[0]
+            count_by_len[length] = idx.size
+            if idx.size:
+                first_code[length] = int(codes[idx[0]])
+                first_index[length] = int(idx[0])
+
+        payload = data[pos:]
+        bits = np.unpackbits(np.frombuffer(payload, dtype=np.uint8))
+        if bits.size < total_bits:
+            raise ValueError("truncated Huffman payload")
+        bit_list = bits[:total_bits].tolist()
+        sym_list = sym_sorted.tolist()
+        fc = first_code.tolist()
+        fi = first_index.tolist()
+        cbl = count_by_len.tolist()
+
+        out = np.empty(n_total, dtype=np.int64)
+        bpos = 0
+        for i in range(n_total):
+            code = 0
+            length = 0
+            while True:
+                code = (code << 1) | bit_list[bpos]
+                bpos += 1
+                length += 1
+                if cbl[length] and (code - fc[length]) < cbl[length] and code >= fc[length]:
+                    out[i] = sym_list[fi[length] + code - fc[length]]
+                    break
+                if length > max_len:
+                    raise ValueError("corrupt Huffman stream: code longer than table")
+        return out

@@ -1,0 +1,144 @@
+"""Rate metrics and rate-distortion sweeps.
+
+Bit rate is defined as the average number of bits per data point *in the
+compressed representation*; compression ratio is original bytes over compressed
+bytes (Section III-B2 / V-A5 of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.metrics.error import max_abs_error, psnr
+
+
+def compression_ratio(original_nbytes: int, compressed_nbytes: int) -> float:
+    """Compression ratio rho = |D| / |D'|."""
+    if original_nbytes <= 0:
+        raise ValueError("original_nbytes must be positive")
+    if compressed_nbytes <= 0:
+        raise ValueError("compressed_nbytes must be positive")
+    return original_nbytes / compressed_nbytes
+
+
+def bit_rate(compressed_nbytes: int, n_points: int) -> float:
+    """Average number of bits used per data point."""
+    if n_points <= 0:
+        raise ValueError("n_points must be positive")
+    if compressed_nbytes < 0:
+        raise ValueError("compressed_nbytes must be non-negative")
+    return compressed_nbytes * 8.0 / n_points
+
+
+@dataclass
+class RateDistortionPoint:
+    """One point of a rate-distortion curve."""
+
+    error_bound: float
+    bit_rate: float
+    compression_ratio: float
+    psnr: float
+    max_abs_error: float
+    compress_seconds: float = 0.0
+    decompress_seconds: float = 0.0
+
+    def as_row(self) -> dict:
+        return {
+            "error_bound": self.error_bound,
+            "bit_rate": self.bit_rate,
+            "compression_ratio": self.compression_ratio,
+            "psnr": self.psnr,
+            "max_abs_error": self.max_abs_error,
+            "compress_seconds": self.compress_seconds,
+            "decompress_seconds": self.decompress_seconds,
+        }
+
+
+@dataclass
+class RateDistortionCurve:
+    """A named sequence of rate-distortion points (one compressor, one field)."""
+
+    label: str
+    points: List[RateDistortionPoint] = field(default_factory=list)
+
+    def add(self, point: RateDistortionPoint) -> None:
+        self.points.append(point)
+
+    def bit_rates(self) -> np.ndarray:
+        return np.array([p.bit_rate for p in self.points])
+
+    def psnrs(self) -> np.ndarray:
+        return np.array([p.psnr for p in self.points])
+
+    def compression_ratios(self) -> np.ndarray:
+        return np.array([p.compression_ratio for p in self.points])
+
+    def psnr_at_bit_rate(self, target_bit_rate: float) -> float:
+        """Linearly interpolate PSNR at a given bit rate (for curve comparisons)."""
+        if not self.points:
+            raise ValueError("empty curve")
+        order = np.argsort(self.bit_rates())
+        br = self.bit_rates()[order]
+        ps = self.psnrs()[order]
+        return float(np.interp(target_bit_rate, br, ps))
+
+    def bit_rate_at_psnr(self, target_psnr: float) -> float:
+        """Linearly interpolate the bit rate needed to reach a given PSNR."""
+        if not self.points:
+            raise ValueError("empty curve")
+        order = np.argsort(self.psnrs())
+        ps = self.psnrs()[order]
+        br = self.bit_rates()[order]
+        return float(np.interp(target_psnr, ps, br))
+
+    def compression_ratio_at_psnr(self, target_psnr: float) -> float:
+        """Interpolated compression ratio at a target PSNR (paper's "same PSNR" claims)."""
+        bits_per_value = 32.0  # datasets are single precision in the paper
+        br = self.bit_rate_at_psnr(target_psnr)
+        if br <= 0:
+            return float("inf")
+        return bits_per_value / br
+
+
+def rate_distortion_sweep(
+    compressor,
+    data: np.ndarray,
+    error_bounds: Sequence[float],
+    label: Optional[str] = None,
+    original_dtype_bytes: int = 4,
+) -> RateDistortionCurve:
+    """Run ``compressor`` over a list of relative error bounds and collect RD points.
+
+    ``compressor`` must follow the :class:`repro.compressors.base.Compressor`
+    interface.  The original size is accounted as single-precision (4 bytes per
+    value), matching the paper's datasets.
+    """
+    import time
+
+    data = np.asarray(data)
+    curve = RateDistortionCurve(label=label or compressor.name)
+    n_points = data.size
+    original_nbytes = n_points * original_dtype_bytes
+    for eb in error_bounds:
+        start = time.perf_counter()
+        compressed = compressor.compress(data, eb)
+        t_comp = time.perf_counter() - start
+        start = time.perf_counter()
+        reconstructed = compressor.decompress(compressed)
+        t_decomp = time.perf_counter() - start
+        nbytes = len(compressed)
+        curve.add(
+            RateDistortionPoint(
+                error_bound=float(eb),
+                bit_rate=bit_rate(nbytes, n_points),
+                compression_ratio=compression_ratio(original_nbytes, nbytes),
+                psnr=psnr(data, reconstructed),
+                max_abs_error=max_abs_error(data, reconstructed),
+                compress_seconds=t_comp,
+                decompress_seconds=t_decomp,
+            )
+        )
+    return curve

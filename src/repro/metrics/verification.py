@@ -1,0 +1,59 @@
+"""Error-bound verification (the property every error-bounded compressor must hold)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.utils.validation import absolute_error_bound
+
+
+@dataclass
+class BoundViolation:
+    """Description of an error-bound violation found by :func:`verify_error_bound`."""
+
+    index: tuple
+    original: float
+    reconstructed: float
+    error: float
+    bound: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"bound violated at {self.index}: |{self.original} - {self.reconstructed}| "
+            f"= {self.error} > {self.bound}"
+        )
+
+
+def verify_error_bound(
+    original: np.ndarray,
+    reconstructed: np.ndarray,
+    rel_error_bound: float,
+    rtol: float = 1e-9,
+) -> Optional[BoundViolation]:
+    """Check ``|d_i - d'_i| <= eps * vrange(D)`` for every point.
+
+    Returns ``None`` when the bound holds, otherwise the worst violation.
+    ``rtol`` adds a tiny relative slack for floating-point round-off in the
+    verification itself (not in the compressors).
+    """
+    original = np.asarray(original, dtype=np.float64)
+    reconstructed = np.asarray(reconstructed, dtype=np.float64)
+    if original.shape != reconstructed.shape:
+        raise ValueError("shape mismatch between original and reconstructed data")
+    bound = absolute_error_bound(original, rel_error_bound)
+    errors = np.abs(original - reconstructed)
+    tol = bound * (1.0 + rtol)
+    worst = int(np.argmax(errors))
+    if errors.flat[worst] <= tol:
+        return None
+    index = np.unravel_index(worst, original.shape)
+    return BoundViolation(
+        index=tuple(int(i) for i in index),
+        original=float(original[index]),
+        reconstructed=float(reconstructed[index]),
+        error=float(errors[index]),
+        bound=float(bound),
+    )

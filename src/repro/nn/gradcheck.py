@@ -1,0 +1,73 @@
+"""Numerical gradient checking utilities (used heavily by the test suite)."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.nn.module import Module
+
+
+def numerical_gradient(f: Callable[[np.ndarray], float], x: np.ndarray,
+                       eps: float = 1e-5) -> np.ndarray:
+    """Central-difference gradient of a scalar function ``f`` at ``x``."""
+    x = np.asarray(x, dtype=np.float64)
+    grad = np.zeros_like(x)
+    flat = x.reshape(-1)
+    gflat = grad.reshape(-1)
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        f_plus = f(x)
+        flat[i] = orig - eps
+        f_minus = f(x)
+        flat[i] = orig
+        gflat[i] = (f_plus - f_minus) / (2.0 * eps)
+    return grad
+
+
+def check_layer_gradients(layer: Module, x: np.ndarray, eps: float = 1e-5,
+                          rtol: float = 1e-4, atol: float = 1e-6,
+                          check_params: bool = True) -> Dict[str, float]:
+    """Compare analytic and numerical gradients of ``0.5 * sum(layer(x)**2)``.
+
+    Returns a dict of maximum absolute deviations; raises ``AssertionError``
+    if any gradient disagrees beyond tolerance.
+    """
+    x = np.asarray(x, dtype=np.float64)
+
+    def loss_for_input(inp: np.ndarray) -> float:
+        out = layer.forward(inp, training=True)
+        return 0.5 * float(np.sum(out * out))
+
+    # Analytic gradients.
+    layer.zero_grad()
+    out = layer.forward(x, training=True)
+    analytic_dx = layer.backward(out.copy())
+
+    deviations: Dict[str, float] = {}
+
+    numeric_dx = numerical_gradient(loss_for_input, x.copy(), eps=eps)
+    dev = float(np.max(np.abs(analytic_dx - numeric_dx)))
+    deviations["input"] = dev
+    np.testing.assert_allclose(analytic_dx, numeric_dx, rtol=rtol, atol=atol)
+
+    if check_params:
+        for name, param in layer.named_parameters():
+            analytic = np.array(param.grad, copy=True)
+
+            def loss_for_param(values: np.ndarray, _param=param) -> float:
+                backup = np.array(_param.value, copy=True)
+                _param.value[...] = values
+                try:
+                    return loss_for_input(x)
+                finally:
+                    _param.value[...] = backup
+
+            numeric = numerical_gradient(loss_for_param, np.array(param.value, copy=True), eps=eps)
+            dev = float(np.max(np.abs(analytic - numeric)))
+            deviations[name] = dev
+            np.testing.assert_allclose(analytic, numeric, rtol=rtol, atol=atol)
+
+    return deviations

@@ -1,0 +1,163 @@
+"""im2col / col2im kernels for N-dimensional convolutions.
+
+Convolutions in :mod:`repro.nn.layers.conv` are expressed as a single matrix
+multiplication over patch matrices.  The patch extraction uses
+``numpy.lib.stride_tricks.sliding_window_view`` (zero-copy) and the inverse
+``col2im`` accumulates contributions with a small loop over kernel offsets
+(at most ``3**d`` iterations for the 3x3 / 3x3x3 kernels used by AE-SZ), which
+is fully vectorized over batch, channels and spatial positions.
+
+The functions support arbitrary spatial dimensionality (1, 2 or 3 in this
+library) with per-axis stride and padding.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Sequence, Tuple
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+
+def _normalize(value, ndim: int, name: str) -> Tuple[int, ...]:
+    """Broadcast an int or sequence to a per-axis tuple of length ``ndim``."""
+    if np.isscalar(value):
+        out = (int(value),) * ndim
+    else:
+        out = tuple(int(v) for v in value)
+        if len(out) != ndim:
+            raise ValueError(f"{name} must have {ndim} entries, got {len(out)}")
+    if any(v < 0 for v in out):
+        raise ValueError(f"{name} entries must be non-negative, got {out}")
+    return out
+
+
+def conv_output_shape(
+    spatial: Sequence[int],
+    kernel: Sequence[int],
+    stride: Sequence[int],
+    padding: Sequence[int],
+) -> Tuple[int, ...]:
+    """Spatial output shape of a strided convolution."""
+    out = []
+    for s, k, st, p in zip(spatial, kernel, stride, padding):
+        o = (s + 2 * p - k) // st + 1
+        if o <= 0:
+            raise ValueError(
+                f"convolution output collapsed to {o} for input={s}, kernel={k}, "
+                f"stride={st}, padding={p}"
+            )
+        out.append(o)
+    return tuple(out)
+
+
+def conv_transpose_output_shape(
+    spatial: Sequence[int],
+    kernel: Sequence[int],
+    stride: Sequence[int],
+    padding: Sequence[int],
+    output_padding: Sequence[int],
+) -> Tuple[int, ...]:
+    """Spatial output shape of a strided transposed convolution."""
+    out = []
+    for s, k, st, p, op in zip(spatial, kernel, stride, padding, output_padding):
+        o = (s - 1) * st - 2 * p + k + op
+        if o <= 0:
+            raise ValueError("transposed convolution output collapsed to non-positive size")
+        out.append(o)
+    return tuple(out)
+
+
+def im2col(
+    x: np.ndarray,
+    kernel: Sequence[int],
+    stride: Sequence[int],
+    padding: Sequence[int],
+) -> np.ndarray:
+    """Extract convolution patches.
+
+    Parameters
+    ----------
+    x:
+        Input of shape ``(N, C, *spatial)``.
+    kernel, stride, padding:
+        Per-spatial-axis kernel size, stride and zero padding.
+
+    Returns
+    -------
+    ndarray of shape ``(N, C * prod(kernel), prod(out_spatial))``.
+    """
+    ndim = x.ndim - 2
+    kernel = _normalize(kernel, ndim, "kernel")
+    stride = _normalize(stride, ndim, "stride")
+    padding = _normalize(padding, ndim, "padding")
+
+    if any(p > 0 for p in padding):
+        pad_width = [(0, 0), (0, 0)] + [(p, p) for p in padding]
+        x = np.pad(x, pad_width, mode="constant")
+
+    n, c = x.shape[:2]
+    spatial = x.shape[2:]
+    out_spatial = conv_output_shape(spatial, kernel, stride, (0,) * ndim)
+
+    # windows: (N, C, *windows_spatial, *kernel)
+    windows = sliding_window_view(x, kernel, axis=tuple(range(2, 2 + ndim)))
+    # subsample by stride on the window axes
+    slicer = (slice(None), slice(None)) + tuple(slice(None, None, st) for st in stride)
+    windows = windows[slicer]
+    # -> (N, C, *kernel, *out_spatial)
+    perm = (0, 1) + tuple(range(2 + ndim, 2 + 2 * ndim)) + tuple(range(2, 2 + ndim))
+    windows = windows.transpose(perm)
+    cols = np.ascontiguousarray(windows).reshape(
+        n, c * int(np.prod(kernel)), int(np.prod(out_spatial))
+    )
+    return cols
+
+
+def col2im(
+    cols: np.ndarray,
+    input_shape: Sequence[int],
+    kernel: Sequence[int],
+    stride: Sequence[int],
+    padding: Sequence[int],
+) -> np.ndarray:
+    """Scatter-add patch columns back into an input-shaped array.
+
+    This is the exact adjoint of :func:`im2col` (overlapping contributions are
+    summed), which is what the convolution backward pass and the transposed
+    convolution forward pass require.
+
+    Parameters
+    ----------
+    cols:
+        ``(N, C * prod(kernel), prod(out_spatial))`` patch matrix.
+    input_shape:
+        The *unpadded* input shape ``(N, C, *spatial)`` to scatter into.
+    """
+    n, c = int(input_shape[0]), int(input_shape[1])
+    spatial = tuple(int(s) for s in input_shape[2:])
+    ndim = len(spatial)
+    kernel = _normalize(kernel, ndim, "kernel")
+    stride = _normalize(stride, ndim, "stride")
+    padding = _normalize(padding, ndim, "padding")
+
+    padded_spatial = tuple(s + 2 * p for s, p in zip(spatial, padding))
+    out_spatial = conv_output_shape(padded_spatial, kernel, stride, (0,) * ndim)
+
+    cols = cols.reshape((n, c) + kernel + out_spatial)
+    out = np.zeros((n, c) + padded_spatial, dtype=cols.dtype)
+
+    # Accumulate one kernel offset at a time; each assignment is a strided,
+    # fully vectorized slice covering every output position.
+    for offset in product(*(range(k) for k in kernel)):
+        src = cols[(slice(None), slice(None)) + offset]
+        dst_slices = tuple(
+            slice(o, o + st * osz, st) for o, st, osz in zip(offset, stride, out_spatial)
+        )
+        out[(slice(None), slice(None)) + dst_slices] += src
+
+    if any(p > 0 for p in padding):
+        unpad = tuple(slice(p, p + s) for p, s in zip(padding, spatial))
+        out = out[(slice(None), slice(None)) + unpad]
+    return out

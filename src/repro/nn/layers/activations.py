@@ -1,0 +1,87 @@
+"""Pointwise activation layers."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.module import Module
+
+
+class ReLU(Module):
+    """Rectified linear unit."""
+
+    def __init__(self):
+        self._mask = None
+
+    def forward(self, x: np.ndarray, training: Optional[bool] = None) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        self._mask = x > 0
+        return np.where(self._mask, x, 0.0)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward called before forward")
+        return np.where(self._mask, grad, 0.0)
+
+
+class LeakyReLU(Module):
+    """Leaky ReLU with configurable negative slope."""
+
+    def __init__(self, negative_slope: float = 0.2):
+        self.negative_slope = float(negative_slope)
+        self._mask = None
+
+    def forward(self, x: np.ndarray, training: Optional[bool] = None) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        self._mask = x > 0
+        return np.where(self._mask, x, self.negative_slope * x)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward called before forward")
+        return np.where(self._mask, grad, self.negative_slope * grad)
+
+
+class Tanh(Module):
+    """Hyperbolic tangent; used as the final decoder activation in AE-SZ."""
+
+    def __init__(self):
+        self._out = None
+
+    def forward(self, x: np.ndarray, training: Optional[bool] = None) -> np.ndarray:
+        self._out = np.tanh(np.asarray(x, dtype=np.float64))
+        return self._out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._out is None:
+            raise RuntimeError("backward called before forward")
+        return grad * (1.0 - self._out**2)
+
+
+class Sigmoid(Module):
+    """Logistic sigmoid."""
+
+    def __init__(self):
+        self._out = None
+
+    def forward(self, x: np.ndarray, training: Optional[bool] = None) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        self._out = 1.0 / (1.0 + np.exp(-x))
+        return self._out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._out is None:
+            raise RuntimeError("backward called before forward")
+        return grad * self._out * (1.0 - self._out)
+
+
+class Identity(Module):
+    """Pass-through layer (useful as a configurable activation placeholder)."""
+
+    def forward(self, x: np.ndarray, training: Optional[bool] = None) -> np.ndarray:
+        return np.asarray(x, dtype=np.float64)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        return grad

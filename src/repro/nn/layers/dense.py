@@ -1,0 +1,50 @@
+"""Fully connected layer."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn import init as nn_init
+from repro.nn.module import Module, Parameter
+from repro.utils.rng import SeedLike, as_rng
+
+
+class Dense(Module):
+    """Affine transform ``y = x @ W + b`` on inputs of shape ``(N, in_features)``."""
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True, rng: SeedLike = None):
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("Dense layer sizes must be positive")
+        rng = as_rng(rng)
+        self.in_features = int(in_features)
+        self.out_features = int(out_features)
+        self.weight = Parameter(
+            nn_init.xavier_uniform((in_features, out_features), in_features, out_features, rng),
+            name="dense.weight",
+        )
+        self.bias = Parameter(nn_init.zeros((out_features,)), name="dense.bias") if bias else None
+        self._cache_x: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray, training: Optional[bool] = None) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2 or x.shape[1] != self.in_features:
+            raise ValueError(
+                f"Dense expected input of shape (N, {self.in_features}), got {x.shape}"
+            )
+        self._cache_x = x
+        out = x @ self.weight.value
+        if self.bias is not None:
+            out = out + self.bias.value
+        return out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._cache_x is None:
+            raise RuntimeError("backward called before forward")
+        x = self._cache_x
+        grad = np.asarray(grad, dtype=np.float64)
+        self.weight.grad += x.T @ grad
+        if self.bias is not None:
+            self.bias.grad += grad.sum(axis=0)
+        return grad @ self.weight.value.T

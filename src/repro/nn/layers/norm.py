@@ -1,0 +1,76 @@
+"""Batch normalization (used by comparator autoencoders such as AE-B)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.module import Module, Parameter
+
+
+class BatchNorm(Module):
+    """Per-channel batch normalization over ``(N, C, *spatial)`` or ``(N, C)`` inputs."""
+
+    def __init__(self, channels: int, momentum: float = 0.1, eps: float = 1e-5):
+        if channels <= 0:
+            raise ValueError("channels must be positive")
+        self.channels = int(channels)
+        self.momentum = float(momentum)
+        self.eps = float(eps)
+        self.gamma = Parameter(np.ones(channels), name="bn.gamma")
+        self.beta = Parameter(np.zeros(channels), name="bn.beta")
+        self.running_mean = np.zeros(channels)
+        self.running_var = np.ones(channels)
+        self._cache = None
+
+    def _reduce_axes(self, x: np.ndarray):
+        return (0,) + tuple(range(2, x.ndim))
+
+    def _bshape(self, x: np.ndarray):
+        return (1, self.channels) + (1,) * (x.ndim - 2)
+
+    def forward(self, x: np.ndarray, training: Optional[bool] = None) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim < 2 or x.shape[1] != self.channels:
+            raise ValueError(f"BatchNorm expected {self.channels} channels, got shape {x.shape}")
+        training = self._resolve_training(training)
+        axes = self._reduce_axes(x)
+        bshape = self._bshape(x)
+
+        if training:
+            mean = x.mean(axis=axes)
+            var = x.var(axis=axes)
+            self.running_mean = (1 - self.momentum) * self.running_mean + self.momentum * mean
+            self.running_var = (1 - self.momentum) * self.running_var + self.momentum * var
+        else:
+            mean = self.running_mean
+            var = self.running_var
+
+        inv_std = 1.0 / np.sqrt(var + self.eps)
+        x_hat = (x - mean.reshape(bshape)) * inv_std.reshape(bshape)
+        out = self.gamma.value.reshape(bshape) * x_hat + self.beta.value.reshape(bshape)
+        self._cache = (x_hat, inv_std, x.shape, training)
+        return out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        x_hat, inv_std, shape, was_training = self._cache
+        grad = np.asarray(grad, dtype=np.float64)
+        axes = self._reduce_axes(grad)
+        bshape = self._bshape(grad)
+
+        self.gamma.grad += (grad * x_hat).sum(axis=axes)
+        self.beta.grad += grad.sum(axis=axes)
+
+        g = self.gamma.value.reshape(bshape)
+        if not was_training:
+            return grad * g * inv_std.reshape(bshape)
+
+        m = grad.size / self.channels
+        dxhat = grad * g
+        term = dxhat - dxhat.mean(axis=axes, keepdims=True) - x_hat * (dxhat * x_hat).mean(
+            axis=axes, keepdims=True
+        )
+        return term * inv_std.reshape(bshape)

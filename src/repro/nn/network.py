@@ -1,0 +1,47 @@
+"""Layer composition."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+from repro.nn.module import Module
+
+
+class Sequential(Module):
+    """Run layers in order on forward, in reverse order on backward."""
+
+    def __init__(self, *layers: Module):
+        if len(layers) == 1 and isinstance(layers[0], (list, tuple)):
+            layers = tuple(layers[0])
+        for layer in layers:
+            if not isinstance(layer, Module):
+                raise TypeError(f"Sequential expects Module instances, got {type(layer)!r}")
+        self.layers: List[Module] = list(layers)
+
+    def append(self, layer: Module) -> "Sequential":
+        if not isinstance(layer, Module):
+            raise TypeError(f"Sequential expects Module instances, got {type(layer)!r}")
+        self.layers.append(layer)
+        return self
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def __getitem__(self, idx: int) -> Module:
+        return self.layers[idx]
+
+    def __iter__(self):
+        return iter(self.layers)
+
+    def forward(self, x: np.ndarray, training: Optional[bool] = None) -> np.ndarray:
+        out = x
+        for layer in self.layers:
+            out = layer.forward(out, training=training)
+        return out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad

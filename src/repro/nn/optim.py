@@ -1,0 +1,99 @@
+"""Gradient-descent optimizers."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.nn.module import Module, Parameter
+
+
+class Optimizer:
+    """Base optimizer over a list of :class:`Parameter` objects.
+
+    ``modules`` can also be passed so that constrained layers (e.g. GDN) are
+    projected back onto their feasible set right after each update.
+    """
+
+    def __init__(self, parameters: Sequence[Parameter], lr: float,
+                 modules: Optional[Sequence[Module]] = None):
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.parameters: List[Parameter] = list(parameters)
+        if not self.parameters:
+            raise ValueError("optimizer needs at least one parameter")
+        self.lr = float(lr)
+        self.modules: List[Module] = list(modules) if modules else []
+
+    @classmethod
+    def for_module(cls, module: Module, lr: float, **kwargs) -> "Optimizer":
+        """Convenience constructor wiring up parameters and projection."""
+        return cls(module.parameters(), lr=lr, modules=[module], **kwargs)
+
+    def zero_grad(self) -> None:
+        for p in self.parameters:
+            p.zero_grad()
+
+    def step(self) -> None:
+        self._update()
+        for module in self.modules:
+            module.project()
+
+    def _update(self) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum."""
+
+    def __init__(self, parameters: Sequence[Parameter], lr: float = 1e-2,
+                 momentum: float = 0.0, modules: Optional[Sequence[Module]] = None):
+        super().__init__(parameters, lr, modules)
+        if not (0.0 <= momentum < 1.0):
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        self.momentum = float(momentum)
+        self._velocity = [np.zeros_like(p.value) for p in self.parameters]
+
+    def _update(self) -> None:
+        for p, v in zip(self.parameters, self._velocity):
+            if self.momentum > 0:
+                v *= self.momentum
+                v -= self.lr * p.grad
+                p.value += v
+            else:
+                p.value -= self.lr * p.grad
+
+
+class Adam(Optimizer):
+    """Adam optimizer (Kingma & Ba, 2015); the default for all AE training here."""
+
+    def __init__(self, parameters: Sequence[Parameter], lr: float = 1e-3,
+                 betas: tuple = (0.9, 0.999), eps: float = 1e-8,
+                 weight_decay: float = 0.0, modules: Optional[Sequence[Module]] = None):
+        super().__init__(parameters, lr, modules)
+        beta1, beta2 = betas
+        if not (0.0 <= beta1 < 1.0 and 0.0 <= beta2 < 1.0):
+            raise ValueError(f"betas must be in [0, 1), got {betas}")
+        self.beta1, self.beta2 = float(beta1), float(beta2)
+        self.eps = float(eps)
+        self.weight_decay = float(weight_decay)
+        self._m = [np.zeros_like(p.value) for p in self.parameters]
+        self._v = [np.zeros_like(p.value) for p in self.parameters]
+        self._t = 0
+
+    def _update(self) -> None:
+        self._t += 1
+        b1t = 1.0 - self.beta1**self._t
+        b2t = 1.0 - self.beta2**self._t
+        for p, m, v in zip(self.parameters, self._m, self._v):
+            grad = p.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * p.value
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad * grad
+            m_hat = m / b1t
+            v_hat = v / b2t
+            p.value -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)

@@ -1,0 +1,56 @@
+"""Saving and loading model weights.
+
+AE-SZ keeps the trained network *outside* the compressed stream (paper
+Section IV-B: the model is reused across time steps and simulations), so the
+library persists weights as ``.npz`` archives keyed by parameter path.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+from typing import Dict, Union
+
+import numpy as np
+
+from repro.nn.module import Module
+
+PathLike = Union[str, os.PathLike]
+
+
+def state_dict(module: Module) -> Dict[str, np.ndarray]:
+    """Collect a copy of every parameter value keyed by its qualified name."""
+    return {name: np.array(p.value, copy=True) for name, p in module.named_parameters()}
+
+
+def load_state_dict(module: Module, state: Dict[str, np.ndarray], strict: bool = True) -> None:
+    """Load parameter values into ``module`` (shapes must match)."""
+    params = dict(module.named_parameters())
+    missing = set(params) - set(state)
+    unexpected = set(state) - set(params)
+    if strict and (missing or unexpected):
+        raise KeyError(
+            f"state dict mismatch: missing={sorted(missing)}, unexpected={sorted(unexpected)}"
+        )
+    for name, value in state.items():
+        if name not in params:
+            continue
+        param = params[name]
+        value = np.asarray(value, dtype=np.float64)
+        if value.shape != param.value.shape:
+            raise ValueError(
+                f"shape mismatch for {name!r}: expected {param.value.shape}, got {value.shape}"
+            )
+        param.value[...] = value
+
+
+def save_module(module: Module, path: PathLike) -> None:
+    """Serialize a module's parameters to an ``.npz`` file."""
+    np.savez_compressed(path, **state_dict(module))
+
+
+def load_module_state(module: Module, path: PathLike, strict: bool = True) -> None:
+    """Load ``.npz`` parameters previously written by :func:`save_module`."""
+    with np.load(path) as archive:
+        state = {key: archive[key] for key in archive.files}
+    load_state_dict(module, state, strict=strict)

@@ -1,0 +1,27 @@
+"""Block-mean predictor (the "mean-Lorenzo" fallback of AE-SZ)."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+class MeanPredictor:
+    """Predict every point of a block by the block mean.
+
+    The mean is stored losslessly per block (8 bytes), which the paper notes is
+    effective for (nearly) constant blocks common in scientific data.
+    """
+
+    def predict(self, block: np.ndarray) -> Tuple[np.ndarray, float]:
+        block = np.asarray(block, dtype=np.float64)
+        mean = float(block.mean())
+        return np.full_like(block, mean), mean
+
+    def predict_from_value(self, shape, mean: float) -> np.ndarray:
+        return np.full(shape, float(mean), dtype=np.float64)
+
+    def loss(self, block: np.ndarray) -> float:
+        pred, _ = self.predict(block)
+        return float(np.abs(np.asarray(block, dtype=np.float64) - pred).mean())

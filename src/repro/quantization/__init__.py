@@ -1,0 +1,17 @@
+"""Error-controlled quantization."""
+
+from repro.quantization.linear import (
+    LinearQuantizer,
+    QuantizationResult,
+    quantize_prediction_errors,
+    dequantize_prediction_errors,
+)
+from repro.quantization.uniform import UniformQuantizer
+
+__all__ = [
+    "LinearQuantizer",
+    "QuantizationResult",
+    "quantize_prediction_errors",
+    "dequantize_prediction_errors",
+    "UniformQuantizer",
+]

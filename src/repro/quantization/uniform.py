@@ -1,0 +1,39 @@
+"""Plain uniform (mid-tread) scalar quantization.
+
+Used for two purposes in the reproduction:
+
+* the customized latent-vector codec of AE-SZ (Takeaway 3): latents are
+  quantized with an absolute bound of ``0.1 * e`` before Huffman + Zstd;
+* the integer "pre-quantization" of values onto a ``2e`` grid used by the
+  dual-quantization Lorenzo path (see :mod:`repro.predictors.lorenzo`).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.utils.validation import ensure_positive
+
+
+class UniformQuantizer:
+    """Mid-tread uniform quantizer with step ``2 * error_bound``."""
+
+    def __init__(self, error_bound: float):
+        self.error_bound = ensure_positive(error_bound, "error_bound")
+        self.step = 2.0 * self.error_bound
+
+    def quantize(self, values: np.ndarray) -> np.ndarray:
+        """Map values to integer grid indices; |dequantize(q) - value| <= error_bound."""
+        values = np.asarray(values, dtype=np.float64)
+        return np.rint(values / self.step).astype(np.int64)
+
+    def dequantize(self, codes: np.ndarray) -> np.ndarray:
+        codes = np.asarray(codes, dtype=np.int64)
+        return codes.astype(np.float64) * self.step
+
+    def roundtrip(self, values: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Quantize and immediately dequantize (returns codes, reconstruction)."""
+        codes = self.quantize(values)
+        return codes, self.dequantize(codes)

@@ -1,0 +1,23 @@
+"""Small shared utilities: RNG handling, timing, validation, parallel map."""
+
+from repro.utils.rng import as_rng, spawn_rngs
+from repro.utils.timing import Timer, throughput_mb_s
+from repro.utils.validation import (
+    ensure_array,
+    ensure_float_array,
+    ensure_positive,
+    value_range,
+)
+from repro.utils.parallel import parallel_map
+
+__all__ = [
+    "as_rng",
+    "spawn_rngs",
+    "Timer",
+    "throughput_mb_s",
+    "ensure_array",
+    "ensure_float_array",
+    "ensure_positive",
+    "value_range",
+    "parallel_map",
+]

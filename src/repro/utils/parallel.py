@@ -1,0 +1,35 @@
+"""A small, dependency-free parallel map.
+
+Block-wise compression is embarrassingly parallel across blocks.  The library
+keeps the default single-process (NumPy kernels already use optimized BLAS and
+the block work is memory-bound), but exposes :func:`parallel_map` so examples
+and benchmarks can opt into process-level parallelism for large inputs.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def parallel_map(
+    func: Callable[[T], R],
+    items: Sequence[T],
+    workers: Optional[int] = None,
+    chunksize: int = 1,
+) -> List[R]:
+    """Map ``func`` over ``items`` with an optional process pool.
+
+    ``workers=None`` or ``workers<=1`` runs serially (deterministic and
+    picklability-free); otherwise a ``multiprocessing`` pool is used.  Results
+    preserve input order.
+    """
+    items = list(items)
+    if workers is None or workers <= 1 or len(items) <= 1:
+        return [func(item) for item in items]
+    workers = min(workers, len(items))
+    with mp.get_context("spawn").Pool(processes=workers) as pool:
+        return list(pool.map(func, items, chunksize=max(1, chunksize)))

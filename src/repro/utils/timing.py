@@ -1,0 +1,49 @@
+"""Timing helpers used by the speed benchmarks (paper Table VIII / IX)."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass
+class Timer:
+    """A tiny context-manager stopwatch.
+
+    Example
+    -------
+    >>> with Timer() as t:
+    ...     _ = sum(range(1000))
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    elapsed: float = 0.0
+    _start: Optional[float] = field(default=None, repr=False)
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        assert self._start is not None
+        self.elapsed = time.perf_counter() - self._start
+        self._start = None
+
+    def start(self) -> None:
+        self._start = time.perf_counter()
+
+    def stop(self) -> float:
+        if self._start is None:
+            raise RuntimeError("Timer.stop() called before start()")
+        self.elapsed = time.perf_counter() - self._start
+        self._start = None
+        return self.elapsed
+
+
+def throughput_mb_s(nbytes: int, seconds: float) -> float:
+    """Throughput in MB/s (10^6 bytes per second, as used in the paper)."""
+    if seconds <= 0:
+        return float("inf")
+    return nbytes / 1e6 / seconds

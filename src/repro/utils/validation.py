@@ -1,0 +1,61 @@
+"""Input validation helpers shared across the library."""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+def ensure_array(data, name: str = "data") -> np.ndarray:
+    """Convert ``data`` to an ndarray, rejecting empty inputs."""
+    arr = np.asarray(data)
+    if arr.size == 0:
+        raise ValueError(f"{name} must not be empty")
+    return arr
+
+
+def ensure_float_array(data, name: str = "data", dtype=np.float64) -> np.ndarray:
+    """Convert ``data`` to a contiguous floating-point ndarray."""
+    arr = ensure_array(data, name)
+    if not np.issubdtype(arr.dtype, np.floating):
+        arr = arr.astype(dtype)
+    if not np.all(np.isfinite(arr)):
+        raise ValueError(f"{name} contains NaN or infinite values")
+    return np.ascontiguousarray(arr)
+
+
+def ensure_positive(value: float, name: str = "value") -> float:
+    """Raise if ``value`` is not strictly positive."""
+    if not (value > 0):
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    return float(value)
+
+
+def ensure_dims(ndim: int, allowed: Sequence[int], name: str = "data") -> None:
+    """Raise if ``ndim`` is not one of the supported dimensionalities."""
+    if ndim not in allowed:
+        raise ValueError(f"{name} must have dimensionality in {tuple(allowed)}, got {ndim}")
+
+
+def value_range(data: np.ndarray) -> float:
+    """Value range max(D) - min(D) used for range-relative error bounds / PSNR."""
+    arr = np.asarray(data)
+    if arr.size == 0:
+        raise ValueError("cannot compute value range of empty array")
+    vr = float(arr.max() - arr.min())
+    return vr
+
+
+def absolute_error_bound(data: np.ndarray, rel_bound: float) -> float:
+    """Convert a value-range-based relative bound into an absolute bound.
+
+    ``e = eps * (max(D) - min(D))`` as defined in Section V-A5 of the paper.
+    A constant field has zero range; fall back to the relative bound itself so
+    that compression remains well defined.
+    """
+    ensure_positive(rel_bound, "rel_bound")
+    vr = value_range(data)
+    if vr == 0.0:
+        return float(rel_bound)
+    return float(rel_bound * vr)

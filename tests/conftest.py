@@ -1,0 +1,65 @@
+"""Shared fixtures for the test suite.
+
+Heavyweight fixtures (trained autoencoders, AE-SZ compressors) are
+session-scoped and use deliberately tiny configurations: the tests verify
+behaviour and invariants, not model quality.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.autoencoders import AutoencoderConfig, SlicedWassersteinAutoencoder
+from repro.core import AESZCompressor, AESZConfig
+from repro.data import load_field_snapshot, train_test_snapshots
+from repro.nn import TrainingConfig
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def field_2d():
+    """A small 2D test field (CESM-like, 96x128)."""
+    return load_field_snapshot("CESM-CLDHGH", shape=(96, 128)).astype(np.float64)
+
+
+@pytest.fixture(scope="session")
+def field_3d():
+    """A small 3D test field (NYX-like, 24^3)."""
+    return load_field_snapshot("NYX-baryon_density", shape=(24, 24, 24)).astype(np.float64)
+
+
+@pytest.fixture(scope="session")
+def tiny_ae_config_2d():
+    return AutoencoderConfig(ndim=2, block_size=8, latent_size=4, channels=(2, 4), seed=7)
+
+
+@pytest.fixture(scope="session")
+def tiny_ae_config_3d():
+    return AutoencoderConfig(ndim=3, block_size=8, latent_size=4, channels=(2, 4), seed=7)
+
+
+@pytest.fixture(scope="session")
+def trained_aesz_2d(tiny_ae_config_2d):
+    """A (briefly) trained AE-SZ compressor on the 2D CESM-like field."""
+    train, _ = train_test_snapshots("CESM-CLDHGH", shape=(64, 96), train_limit=2)
+    ae = SlicedWassersteinAutoencoder(tiny_ae_config_2d)
+    comp = AESZCompressor(ae, AESZConfig(block_size=8))
+    comp.train(train, TrainingConfig(epochs=3, batch_size=32, learning_rate=2e-3, seed=0),
+               max_blocks=192)
+    return comp
+
+
+@pytest.fixture(scope="session")
+def trained_aesz_3d(tiny_ae_config_3d):
+    """A (briefly) trained AE-SZ compressor on the 3D NYX-like field."""
+    train, _ = train_test_snapshots("NYX-baryon_density", shape=(24, 24, 24), train_limit=2)
+    ae = SlicedWassersteinAutoencoder(tiny_ae_config_3d)
+    comp = AESZCompressor(ae, AESZConfig(block_size=8))
+    comp.train(train, TrainingConfig(epochs=2, batch_size=16, learning_rate=2e-3, seed=0),
+               max_blocks=96)
+    return comp

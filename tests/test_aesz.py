@@ -1,0 +1,252 @@
+"""Tests for the AE-SZ compressor core (config, latent codec, pipeline)."""
+
+import numpy as np
+import pytest
+
+from repro.autoencoders import AutoencoderConfig, SlicedWassersteinAutoencoder
+from repro.core import (
+    AESZCompressor,
+    AESZConfig,
+    CompressionStats,
+    LatentCodec,
+    default_autoencoder_config,
+)
+from repro.core.aesz import (
+    FLAG_AE,
+    FLAG_LORENZO,
+    FLAG_MEAN,
+    _batched_lorenzo_inverse,
+    _batched_lorenzo_predict,
+    _batched_lorenzo_transform,
+)
+from repro.core.config import PAPER_TABLE_VI
+from repro.metrics import psnr, verify_error_bound
+from repro.predictors import lorenzo_predict
+
+
+class TestAESZConfig:
+    def test_defaults(self):
+        cfg = AESZConfig()
+        assert cfg.block_size == 32
+        assert cfg.num_bins == 65536
+        assert cfg.latent_error_bound_ratio == pytest.approx(0.1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AESZConfig(block_size=0)
+        with pytest.raises(ValueError):
+            AESZConfig(num_bins=1)
+        with pytest.raises(ValueError):
+            AESZConfig(latent_error_bound_ratio=0.0)
+        with pytest.raises(ValueError):
+            AESZConfig(predictor_mode="nope")
+
+    def test_default_autoencoder_config_scaled(self):
+        cfg = default_autoencoder_config("CESM-CLDHGH")
+        assert cfg.ndim == 2 and cfg.block_size == 32
+        assert max(cfg.channels) < max(PAPER_TABLE_VI["CESM-CLDHGH"]["channels"])
+
+    def test_default_autoencoder_config_paper_scale(self):
+        cfg = default_autoencoder_config("Hurricane-U", scaled=False)
+        assert cfg.channels == (32, 64, 128)
+        assert cfg.latent_size == 8
+
+    def test_unknown_field_raises(self):
+        with pytest.raises(KeyError):
+            default_autoencoder_config("NOPE-field")
+
+    def test_table_vi_covers_all_evaluated_fields(self):
+        for field in ["CESM-CLDHGH", "CESM-FREQSH", "EXAFEL-raw", "RTM-snapshot",
+                      "NYX-baryon_density", "Hurricane-U", "Hurricane-QVAPOR"]:
+            assert field in PAPER_TABLE_VI
+
+
+class TestLatentCodec:
+    def test_roundtrip_bound(self):
+        rng = np.random.default_rng(0)
+        latents = rng.normal(size=(40, 16)) * 3.0
+        codec = LatentCodec()
+        enc = codec.compress(latents, error_bound=0.05)
+        decoded = codec.decompress(enc.payload)
+        assert decoded.shape == latents.shape
+        assert np.max(np.abs(decoded - latents)) <= 0.05 * (1 + 1e-12)
+        np.testing.assert_array_equal(decoded, enc.decoded)
+
+    def test_compression_shrinks_payload(self):
+        rng = np.random.default_rng(1)
+        latents = rng.normal(size=(200, 16))
+        codec = LatentCodec()
+        enc = codec.compress(latents, error_bound=0.1)
+        assert enc.nbytes < latents.size * 4  # smaller than float32 storage
+
+    def test_tighter_bound_costs_more_bytes(self):
+        rng = np.random.default_rng(2)
+        latents = rng.normal(size=(100, 8))
+        codec = LatentCodec()
+        loose = codec.compress(latents, error_bound=0.1).nbytes
+        tight = codec.compress(latents, error_bound=0.001).nbytes
+        assert tight > loose
+
+    def test_row_subset_is_consistent(self):
+        """Dropping rows must not change the decoded values of kept rows."""
+        rng = np.random.default_rng(3)
+        latents = rng.normal(size=(50, 8))
+        codec = LatentCodec()
+        full = codec.compress(latents, 0.05).decoded
+        subset = codec.compress(latents[::2], 0.05).decoded
+        np.testing.assert_array_equal(full[::2], subset)
+
+    def test_invalid_inputs_raise(self):
+        codec = LatentCodec()
+        with pytest.raises(ValueError):
+            codec.compress(np.zeros((3, 3)), 0.0)
+        with pytest.raises(ValueError):
+            codec.compress(np.zeros(5), 0.1)
+
+
+class TestBatchedLorenzoHelpers:
+    def test_transform_inverse_roundtrip(self):
+        rng = np.random.default_rng(0)
+        blocks = rng.integers(-100, 100, size=(5, 8, 8))
+        np.testing.assert_array_equal(
+            _batched_lorenzo_inverse(_batched_lorenzo_transform(blocks)), blocks)
+
+    def test_batched_predict_matches_single_block(self):
+        rng = np.random.default_rng(1)
+        blocks = rng.normal(size=(4, 6, 6))
+        batched = _batched_lorenzo_predict(blocks)
+        for b in range(4):
+            np.testing.assert_allclose(batched[b], lorenzo_predict(blocks[b]))
+
+    def test_batched_predict_3d(self):
+        rng = np.random.default_rng(2)
+        blocks = rng.normal(size=(3, 4, 4, 4))
+        batched = _batched_lorenzo_predict(blocks)
+        for b in range(3):
+            np.testing.assert_allclose(batched[b], lorenzo_predict(blocks[b]))
+
+
+class TestCompressionStats:
+    def test_fraction_and_ratio(self):
+        stats = CompressionStats(n_blocks=10, n_ae_blocks=4, n_lorenzo_blocks=5,
+                                 n_mean_blocks=1, compressed_bytes=100, original_bytes=1000)
+        assert stats.ae_block_fraction == pytest.approx(0.4)
+        assert stats.compression_ratio == pytest.approx(10.0)
+
+    def test_empty_stats(self):
+        stats = CompressionStats()
+        assert stats.ae_block_fraction == 0.0
+        assert stats.compression_ratio == float("inf")
+
+
+class TestAESZPipeline2D:
+    @pytest.mark.parametrize("eb", [1e-2, 1e-3, 1e-4])
+    def test_error_bound_strictly_held(self, trained_aesz_2d, field_2d, eb):
+        payload = trained_aesz_2d.compress(field_2d, eb)
+        recon = trained_aesz_2d.decompress(payload)
+        assert recon.shape == field_2d.shape
+        assert verify_error_bound(field_2d, recon, eb) is None
+
+    def test_smaller_bound_gives_higher_psnr_and_larger_stream(self, trained_aesz_2d, field_2d):
+        loose = trained_aesz_2d.compress(field_2d, 1e-2)
+        loose_psnr = psnr(field_2d, trained_aesz_2d.decompress(loose))
+        tight = trained_aesz_2d.compress(field_2d, 1e-4)
+        tight_psnr = psnr(field_2d, trained_aesz_2d.decompress(tight))
+        assert tight_psnr > loose_psnr
+        assert len(tight) > len(loose)
+
+    def test_compression_actually_compresses(self, trained_aesz_2d, field_2d):
+        payload = trained_aesz_2d.compress(field_2d, 1e-2)
+        assert len(payload) < field_2d.size * 4
+
+    def test_stats_populated(self, trained_aesz_2d, field_2d):
+        trained_aesz_2d.compress(field_2d, 1e-2)
+        stats = trained_aesz_2d.last_stats
+        assert stats is not None
+        assert stats.n_blocks == stats.n_ae_blocks + stats.n_lorenzo_blocks + stats.n_mean_blocks
+        assert stats.compressed_bytes > 0
+
+    def test_deterministic_compression(self, trained_aesz_2d, field_2d):
+        a = trained_aesz_2d.compress(field_2d, 1e-3)
+        b = trained_aesz_2d.compress(field_2d, 1e-3)
+        assert a == b
+
+    def test_decompression_is_deterministic(self, trained_aesz_2d, field_2d):
+        payload = trained_aesz_2d.compress(field_2d, 1e-3)
+        np.testing.assert_array_equal(trained_aesz_2d.decompress(payload),
+                                      trained_aesz_2d.decompress(payload))
+
+    def test_invalid_error_bound_raises(self, trained_aesz_2d, field_2d):
+        with pytest.raises(ValueError):
+            trained_aesz_2d.compress(field_2d, 0.0)
+
+    def test_nan_input_raises(self, trained_aesz_2d):
+        bad = np.full((16, 16), np.nan)
+        with pytest.raises(ValueError):
+            trained_aesz_2d.compress(bad, 1e-2)
+
+    def test_non_multiple_shape_handled(self, trained_aesz_2d):
+        rng = np.random.default_rng(0)
+        data = rng.normal(size=(19, 29))
+        payload = trained_aesz_2d.compress(data, 1e-2)
+        recon = trained_aesz_2d.decompress(payload)
+        assert recon.shape == data.shape
+        assert verify_error_bound(data, recon, 1e-2) is None
+
+
+class TestAESZPipeline3D:
+    @pytest.mark.parametrize("eb", [1e-2, 1e-3])
+    def test_error_bound_strictly_held(self, trained_aesz_3d, field_3d, eb):
+        payload = trained_aesz_3d.compress(field_3d, eb)
+        recon = trained_aesz_3d.decompress(payload)
+        assert verify_error_bound(field_3d, recon, eb) is None
+
+    def test_stats_flags_partition(self, trained_aesz_3d, field_3d):
+        trained_aesz_3d.compress(field_3d, 5e-3)
+        stats = trained_aesz_3d.last_stats
+        assert stats.n_blocks > 0
+        assert 0.0 <= stats.ae_block_fraction <= 1.0
+
+
+class TestPredictorModes:
+    def _compressor(self, trained, mode):
+        return AESZCompressor(trained.autoencoder,
+                              AESZConfig(block_size=trained.config.block_size,
+                                         predictor_mode=mode))
+
+    @pytest.mark.parametrize("mode", ["ae", "lorenzo", "hybrid"])
+    def test_all_modes_respect_bound(self, trained_aesz_2d, field_2d, mode):
+        comp = self._compressor(trained_aesz_2d, mode)
+        recon = comp.decompress(comp.compress(field_2d, 1e-2))
+        assert verify_error_bound(field_2d, recon, 1e-2) is None
+
+    def test_ae_mode_uses_only_ae_blocks(self, trained_aesz_2d, field_2d):
+        comp = self._compressor(trained_aesz_2d, "ae")
+        comp.compress(field_2d, 1e-2)
+        assert comp.last_stats.n_ae_blocks == comp.last_stats.n_blocks
+
+    def test_lorenzo_mode_uses_no_ae_blocks(self, trained_aesz_2d, field_2d):
+        comp = self._compressor(trained_aesz_2d, "lorenzo")
+        comp.compress(field_2d, 1e-2)
+        assert comp.last_stats.n_ae_blocks == 0
+
+    def test_hybrid_not_larger_than_both_ablations(self, trained_aesz_2d, field_2d):
+        """Fig. 11: the combined predictor should be at least as good as either alone."""
+        sizes = {}
+        for mode in ["ae", "lorenzo", "hybrid"]:
+            comp = self._compressor(trained_aesz_2d, mode)
+            sizes[mode] = len(comp.compress(field_2d, 1e-2))
+        assert sizes["hybrid"] <= 1.10 * min(sizes["ae"], sizes["lorenzo"])
+
+    def test_block_size_mismatch_raises(self, trained_aesz_2d):
+        with pytest.raises(ValueError):
+            AESZCompressor(trained_aesz_2d.autoencoder, AESZConfig(block_size=16))
+
+
+class TestConstantField:
+    def test_constant_field_compresses_tiny_and_exact(self, trained_aesz_2d):
+        data = np.full((32, 32), 7.5)
+        payload = trained_aesz_2d.compress(data, 1e-3)
+        recon = trained_aesz_2d.decompress(payload)
+        assert np.max(np.abs(recon - data)) <= 1e-3
+        assert len(payload) < data.size  # far below 1 byte per point

@@ -1,0 +1,119 @@
+"""Tests for tables/figures formatting and the experiment orchestration layer."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    ModelCache,
+    ascii_curve,
+    ascii_histogram,
+    build_aesz_for_field,
+    default_error_bounds,
+    format_table,
+    run_rate_distortion,
+    save_series_csv,
+    write_csv,
+)
+from repro.analysis.experiments import TrainingBudget, baseline_compressors
+from repro.compressors import SZAutoCompressor, ZFPCompressor
+
+
+class TestTables:
+    def test_format_table_basic(self):
+        rows = [{"a": 1, "b": 2.5}, {"a": 10, "b": 0.125}]
+        text = format_table(rows, title="T")
+        assert "T" in text and "a" in text and "10" in text
+
+    def test_format_table_column_subset_and_order(self):
+        rows = [{"x": 1, "y": 2}]
+        text = format_table(rows, columns=["y", "x"])
+        assert text.splitlines()[0].startswith("y")
+
+    def test_format_table_empty(self):
+        assert "(no rows)" in format_table([])
+
+    def test_write_csv(self, tmp_path):
+        path = tmp_path / "out" / "table.csv"
+        write_csv(path, [{"a": 1, "b": 2}, {"a": 3, "b": 4}])
+        lines = path.read_text().strip().splitlines()
+        assert lines[0] == "a,b"
+        assert lines[1] == "1,2"
+
+    def test_write_csv_empty_raises(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_csv(tmp_path / "x.csv", [])
+
+
+class TestFigures:
+    def test_ascii_curve_contains_markers_and_legend(self):
+        series = {"A": [(0, 0), (1, 1)], "B": [(0, 1), (1, 0)]}
+        text = ascii_curve(series, width=20, height=5, title="fig")
+        assert "fig" in text
+        assert "o = A" in text and "x = B" in text
+
+    def test_ascii_curve_empty(self):
+        assert "(empty figure)" in ascii_curve({"A": []})
+
+    def test_ascii_histogram(self):
+        text = ascii_histogram(np.random.default_rng(0).normal(size=500), bins=10)
+        assert text.count("\n") >= 9
+
+    def test_ascii_histogram_empty(self):
+        assert "(empty histogram)" in ascii_histogram([])
+
+    def test_save_series_csv(self, tmp_path):
+        path = tmp_path / "series.csv"
+        save_series_csv(path, {"A": [(1, 2), (3, 4)]}, x_name="bitrate", y_name="psnr")
+        content = path.read_text()
+        assert "series,bitrate,psnr" in content
+        assert "A,1,2" in content
+
+
+class TestExperiments:
+    def test_default_error_bounds(self):
+        assert len(default_error_bounds()) >= 4
+        assert len(default_error_bounds(high_ratio_only=True)) < len(default_error_bounds())
+        assert all(b > 0 for b in default_error_bounds())
+
+    def test_training_budget_to_config(self):
+        cfg = TrainingBudget(epochs=3).to_training_config(seed=1)
+        assert cfg.epochs == 3 and cfg.seed == 1
+
+    def test_baseline_compressors_names(self):
+        comps = baseline_compressors()
+        assert set(comps) == {"SZ2.1", "ZFP", "SZauto", "SZinterp"}
+        assert set(baseline_compressors(include_interp=False, include_auto=False)) == {
+            "SZ2.1", "ZFP"}
+
+    def test_run_rate_distortion(self, field_2d):
+        curves = run_rate_distortion({"ZFP": ZFPCompressor(), "SZauto": SZAutoCompressor()},
+                                     field_2d[:32, :32], error_bounds=[1e-2, 1e-3])
+        assert set(curves) == {"ZFP", "SZauto"}
+        assert len(curves["ZFP"].points) == 2
+
+    def test_model_cache_trains_once_and_reloads(self, tmp_path):
+        budget = TrainingBudget(epochs=1, max_blocks=48, train_snapshot_limit=1)
+        cache = ModelCache(cache_dir=tmp_path, budget=budget, seed=0)
+        shape = (32, 48)
+        from repro.autoencoders import AutoencoderConfig
+        cfg = AutoencoderConfig(ndim=2, block_size=8, latent_size=4, channels=(2,), seed=0)
+        model_a = cache.swae_for_field("CESM-CLDHGH", config=cfg, shape=shape)
+        files_after_first = set(p.name for p in tmp_path.iterdir())
+        model_b = cache.swae_for_field("CESM-CLDHGH", config=cfg, shape=shape)
+        assert files_after_first == set(p.name for p in tmp_path.iterdir())
+        rng = np.random.default_rng(0)
+        blocks = rng.normal(size=(3, 8, 8))
+        np.testing.assert_allclose(model_a.reconstruct(blocks), model_b.reconstruct(blocks))
+
+    def test_build_aesz_for_field_uses_cache(self, tmp_path, field_2d):
+        budget = TrainingBudget(epochs=1, max_blocks=48, train_snapshot_limit=1)
+        cache = ModelCache(cache_dir=tmp_path, budget=budget, seed=0)
+        from repro.autoencoders import AutoencoderConfig
+        cfg = AutoencoderConfig(ndim=2, block_size=8, latent_size=4, channels=(2,), seed=0)
+        cache.swae_for_field("CESM-CLDHGH", config=cfg, shape=(32, 48))
+        comp = build_aesz_for_field("CESM-CLDHGH", cache=cache)
+        # The returned compressor must respect the bound out of the box.
+        from repro.metrics import verify_error_bound
+        data = field_2d[:32, :64]
+        recon = comp.decompress(comp.compress(data, 1e-2))
+        assert verify_error_bound(data, recon, 1e-2) is None

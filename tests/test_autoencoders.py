@@ -1,0 +1,301 @@
+"""Tests for the autoencoder zoo (architecture, training, persistence)."""
+
+import numpy as np
+import pytest
+
+from repro.autoencoders import (
+    AE_REGISTRY,
+    AutoencoderConfig,
+    ConvAutoencoder,
+    FullyConnectedAutoencoder,
+    ResidualConvAutoencoder,
+    SlicedWassersteinAutoencoder,
+    VariationalAutoencoder,
+    WassersteinAutoencoder,
+    create_autoencoder,
+)
+from repro.autoencoders.divergences import (
+    dip_covariance_penalty,
+    kl_standard_normal,
+    mmd_rbf,
+    sliced_wasserstein_distance,
+)
+from repro.nn import Trainer, TrainingConfig
+
+
+@pytest.fixture(scope="module")
+def cfg2d():
+    return AutoencoderConfig(ndim=2, block_size=8, latent_size=4, channels=(2, 4), seed=3)
+
+
+@pytest.fixture(scope="module")
+def blocks2d():
+    rng = np.random.default_rng(0)
+    i, j = np.meshgrid(np.linspace(0, 1, 8), np.linspace(0, 1, 8), indexing="ij")
+    base = np.sin(4 * i) * np.cos(3 * j)
+    return base[None, None] + 0.3 * rng.normal(size=(48, 1, 8, 8))
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        cfg = AutoencoderConfig()
+        assert cfg.block_shape == (32, 32)
+        assert cfg.block_elements == 1024
+
+    def test_reduced_spatial_and_bottleneck(self):
+        cfg = AutoencoderConfig(ndim=2, block_size=32, latent_size=16, channels=(8, 16, 32))
+        assert cfg.reduced_spatial == (4, 4)
+        assert cfg.bottleneck_features == 32 * 16
+
+    def test_latent_ratio(self):
+        cfg = AutoencoderConfig(ndim=3, block_size=8, latent_size=16, channels=(4,))
+        assert cfg.latent_ratio == pytest.approx(512 / 16)
+
+    def test_invalid_values_raise(self):
+        with pytest.raises(ValueError):
+            AutoencoderConfig(ndim=4)
+        with pytest.raises(ValueError):
+            AutoencoderConfig(block_size=0)
+        with pytest.raises(ValueError):
+            AutoencoderConfig(latent_size=0)
+        with pytest.raises(ValueError):
+            AutoencoderConfig(channels=())
+
+
+class TestConvAutoencoderArchitecture:
+    def test_encode_decode_shapes_2d(self, cfg2d, blocks2d):
+        ae = ConvAutoencoder(cfg2d)
+        ae.fit_normalization(blocks2d)
+        latents = ae.encode(blocks2d[:5, 0])
+        assert latents.shape == (5, 4)
+        recon = ae.decode(latents)
+        assert recon.shape == (5, 8, 8)
+
+    def test_encode_accepts_channel_dimension(self, cfg2d, blocks2d):
+        ae = ConvAutoencoder(cfg2d)
+        ae.fit_normalization(blocks2d)
+        a = ae.encode(blocks2d[:3])
+        b = ae.encode(blocks2d[:3, 0])
+        np.testing.assert_allclose(a, b)
+
+    def test_encode_decode_shapes_3d(self):
+        cfg = AutoencoderConfig(ndim=3, block_size=8, latent_size=6, channels=(2, 4), seed=0)
+        ae = ConvAutoencoder(cfg)
+        blocks = np.random.default_rng(0).normal(size=(4, 8, 8, 8))
+        ae.fit_normalization(blocks)
+        assert ae.encode(blocks).shape == (4, 6)
+        assert ae.reconstruct(blocks).shape == (4, 8, 8, 8)
+
+    def test_block_size_incompatible_with_stages_raises(self):
+        with pytest.raises(ValueError):
+            ConvAutoencoder(AutoencoderConfig(ndim=2, block_size=12, latent_size=4,
+                                              channels=(2, 4, 8)))
+
+    def test_normalization_roundtrip(self, cfg2d):
+        ae = ConvAutoencoder(cfg2d)
+        ae.set_normalization(-2.0, 6.0)
+        values = np.array([-2.0, 2.0, 6.0])
+        np.testing.assert_allclose(ae.denormalize(ae.normalize(values)), values)
+
+    def test_normalization_validation(self, cfg2d):
+        ae = ConvAutoencoder(cfg2d)
+        with pytest.raises(ValueError):
+            ae.set_normalization(1.0, 1.0)
+
+    def test_fit_normalization_constant_data(self, cfg2d):
+        ae = ConvAutoencoder(cfg2d)
+        ae.fit_normalization(np.full((4, 8, 8), 3.0))
+        assert ae.norm_max > ae.norm_min
+
+    def test_wrong_block_shape_raises(self, cfg2d):
+        ae = ConvAutoencoder(cfg2d)
+        with pytest.raises(ValueError):
+            ae.encode(np.zeros((2, 7, 7)))
+
+    def test_deterministic_prediction(self, cfg2d, blocks2d):
+        ae = ConvAutoencoder(cfg2d)
+        ae.fit_normalization(blocks2d)
+        a = ae.reconstruct(blocks2d[:4, 0])
+        b = ae.reconstruct(blocks2d[:4, 0])
+        np.testing.assert_array_equal(a, b)
+
+    def test_save_load_roundtrip(self, cfg2d, blocks2d, tmp_path):
+        ae = ConvAutoencoder(cfg2d)
+        ae.fit_normalization(blocks2d)
+        path = tmp_path / "model.npz"
+        ae.save(path)
+        clone = ConvAutoencoder(AutoencoderConfig(ndim=2, block_size=8, latent_size=4,
+                                                  channels=(2, 4), seed=99))
+        clone.load(path)
+        np.testing.assert_allclose(ae.reconstruct(blocks2d[:3, 0]),
+                                   clone.reconstruct(blocks2d[:3, 0]))
+        assert clone.norm_min == ae.norm_min
+
+
+class TestTrainingBehaviour:
+    @pytest.mark.parametrize("kind", sorted(AE_REGISTRY))
+    def test_every_ae_type_trains_and_reduces_loss(self, kind, cfg2d, blocks2d):
+        ae = create_autoencoder(kind, cfg2d)
+        ae.fit_normalization(blocks2d)
+        trainer = Trainer(ae, config=TrainingConfig(epochs=3, batch_size=16,
+                                                    learning_rate=2e-3, seed=0))
+        history = trainer.fit(blocks2d)
+        assert np.isfinite(history.epoch_losses).all()
+        assert history.epoch_losses[-1] < history.epoch_losses[0] * 1.05
+
+    def test_unknown_kind_raises(self, cfg2d):
+        with pytest.raises(KeyError):
+            create_autoencoder("unknown", cfg2d)
+
+    def test_swae_regularizer_returns_matching_gradient_shape(self, cfg2d):
+        ae = SlicedWassersteinAutoencoder(cfg2d, regularization_weight=2.0)
+        latent = np.random.default_rng(0).normal(size=(16, 4))
+        loss, grad = ae.latent_regularizer(latent)
+        assert grad.shape == latent.shape
+        assert loss >= 0.0
+
+    def test_swae_invalid_params_raise(self, cfg2d):
+        with pytest.raises(ValueError):
+            SlicedWassersteinAutoencoder(cfg2d, regularization_weight=-1)
+        with pytest.raises(ValueError):
+            SlicedWassersteinAutoencoder(cfg2d, n_projections=0)
+
+    def test_wae_regularizer(self, cfg2d):
+        ae = WassersteinAutoencoder(cfg2d)
+        latent = np.random.default_rng(0).normal(size=(8, 4))
+        loss, grad = ae.latent_regularizer(latent)
+        assert grad.shape == latent.shape and loss >= 0
+
+    def test_vae_encode_is_deterministic_but_sampling_is_not(self, cfg2d, blocks2d):
+        ae = VariationalAutoencoder(cfg2d)
+        ae.fit_normalization(blocks2d)
+        a = ae.encode(blocks2d[:4, 0])
+        b = ae.encode(blocks2d[:4, 0])
+        np.testing.assert_array_equal(a, b)
+        s1 = ae.sample_latent(blocks2d[:4, 0])
+        s2 = ae.sample_latent(blocks2d[:4, 0])
+        assert not np.array_equal(s1, s2)  # the instability the paper points out
+
+    def test_vae_beta_validation(self, cfg2d):
+        with pytest.raises(ValueError):
+            VariationalAutoencoder(cfg2d, beta=-1.0)
+
+
+class TestDivergences:
+    def test_swd_zero_for_identical_sets(self):
+        z = np.random.default_rng(0).normal(size=(32, 4))
+        loss, grad = sliced_wasserstein_distance(z, z.copy(), rng=0)
+        assert loss == pytest.approx(0.0, abs=1e-12)
+        np.testing.assert_allclose(grad, 0.0, atol=1e-12)
+
+    def test_swd_positive_for_shifted_distribution(self):
+        rng = np.random.default_rng(0)
+        z = rng.normal(size=(64, 4)) + 5.0
+        prior = rng.normal(size=(64, 4))
+        loss, _ = sliced_wasserstein_distance(z, prior, rng=1)
+        assert loss > 1.0
+
+    def test_swd_gradient_descends(self):
+        rng = np.random.default_rng(0)
+        z = rng.normal(size=(32, 3)) + 2.0
+        prior = rng.normal(size=(32, 3))
+        loss0, grad = sliced_wasserstein_distance(z, prior, rng=2)
+        loss1, _ = sliced_wasserstein_distance(z - 0.5 * grad / np.abs(grad).max() * 2.0,
+                                               prior, rng=2)
+        assert loss1 < loss0
+
+    def test_swd_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            sliced_wasserstein_distance(np.zeros((4, 2)), np.zeros((5, 2)))
+
+    def test_mmd_zero_for_identical_sets(self):
+        z = np.random.default_rng(0).normal(size=(16, 3))
+        loss, _ = mmd_rbf(z, z.copy())
+        assert loss == pytest.approx(0.0, abs=1e-12)
+
+    def test_mmd_positive_for_shifted_sets(self):
+        rng = np.random.default_rng(1)
+        loss, _ = mmd_rbf(rng.normal(size=(32, 3)) + 3.0, rng.normal(size=(32, 3)))
+        assert loss > 0.01
+
+    def test_mmd_gradient_numerically(self):
+        rng = np.random.default_rng(2)
+        z = rng.normal(size=(6, 2))
+        p = rng.normal(size=(6, 2))
+        _, grad = mmd_rbf(z, p)
+        eps = 1e-6
+        numeric = np.zeros_like(z)
+        for idx in np.ndindex(*z.shape):
+            zp = z.copy(); zp[idx] += eps
+            zm = z.copy(); zm[idx] -= eps
+            numeric[idx] = (mmd_rbf(zp, p)[0] - mmd_rbf(zm, p)[0]) / (2 * eps)
+        np.testing.assert_allclose(grad, numeric, rtol=1e-4, atol=1e-7)
+
+    def test_kl_zero_for_standard_normal_params(self):
+        mu = np.zeros((8, 4))
+        logvar = np.zeros((8, 4))
+        kl, gmu, glv = kl_standard_normal(mu, logvar)
+        assert kl == pytest.approx(0.0)
+        np.testing.assert_allclose(gmu, 0.0)
+        np.testing.assert_allclose(glv, 0.0)
+
+    def test_kl_positive_otherwise(self):
+        kl, _, _ = kl_standard_normal(np.ones((4, 2)), np.ones((4, 2)))
+        assert kl > 0
+
+    def test_dip_penalty_zero_for_identity_covariance(self):
+        rng = np.random.default_rng(0)
+        mu = rng.normal(size=(20000, 2))
+        loss, _ = dip_covariance_penalty(mu, 1.0, 1.0)
+        assert loss < 0.05
+
+    def test_dip_penalty_gradient_shape(self):
+        mu = np.random.default_rng(1).normal(size=(16, 3))
+        _, grad = dip_covariance_penalty(mu)
+        assert grad.shape == mu.shape
+
+
+class TestComparatorModels:
+    def test_ae_a_nominal_ratio(self):
+        ae = FullyConnectedAutoencoder(segment_length=512, reduction=8, n_layers=3)
+        assert ae.nominal_compression_ratio == 512
+        assert ae.config.latent_size == 1
+
+    def test_ae_a_shapes(self):
+        ae = FullyConnectedAutoencoder(segment_length=64, reduction=4, n_layers=2)
+        segs = np.random.default_rng(0).normal(size=(8, 64))
+        ae.fit_normalization(segs)
+        latents = ae.encode(segs)
+        assert latents.shape == (8, 4)
+        assert ae.decode(latents).shape == (8, 64)
+
+    def test_ae_a_validation(self):
+        with pytest.raises(ValueError):
+            FullyConnectedAutoencoder(segment_length=100, reduction=8, n_layers=3)
+        with pytest.raises(ValueError):
+            FullyConnectedAutoencoder(segment_length=512, reduction=1)
+
+    def test_ae_a_trains(self):
+        ae = FullyConnectedAutoencoder(segment_length=64, reduction=4, n_layers=2)
+        data = np.random.default_rng(0).normal(size=(32, 1, 64))
+        ae.fit_normalization(data)
+        hist = Trainer(ae, config=TrainingConfig(epochs=3, batch_size=8, seed=0)).fit(data)
+        assert hist.epoch_losses[-1] <= hist.epoch_losses[0]
+
+    def test_ae_b_fixed_ratio_64(self):
+        ae = ResidualConvAutoencoder(block_size=16, ndim=3, channels=4, n_residual=2,
+                                     n_compression=2)
+        assert ae.fixed_compression_ratio == pytest.approx(64.0)
+
+    def test_ae_b_2d_shapes(self):
+        ae = ResidualConvAutoencoder(block_size=16, ndim=2, channels=4, n_residual=2,
+                                     n_compression=2)
+        blocks = np.random.default_rng(0).normal(size=(4, 16, 16))
+        ae.fit_normalization(blocks)
+        latents = ae.encode(blocks)
+        assert latents.shape == (4, 16)
+        assert ae.reconstruct(blocks).shape == (4, 16, 16)
+
+    def test_ae_b_block_size_validation(self):
+        with pytest.raises(ValueError):
+            ResidualConvAutoencoder(block_size=10, n_compression=2)

@@ -1,0 +1,69 @@
+"""Tests for block splitting / reassembly."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.blocking import BlockGrid, reassemble_blocks, split_into_blocks
+
+
+class TestSplitReassemble:
+    @pytest.mark.parametrize("shape,block", [
+        ((64,), 16), ((100,), 16),
+        ((64, 64), 32), ((37, 53), 16), ((32, 48), (16, 8)),
+        ((16, 16, 16), 8), ((20, 33, 17), 8),
+    ])
+    def test_roundtrip(self, shape, block):
+        rng = np.random.default_rng(0)
+        data = rng.normal(size=shape)
+        blocks, grid = split_into_blocks(data, block)
+        np.testing.assert_array_equal(reassemble_blocks(blocks, grid), data)
+
+    def test_block_count(self):
+        data = np.zeros((64, 96))
+        blocks, grid = split_into_blocks(data, 32)
+        assert blocks.shape == (2 * 3, 32, 32)
+        assert grid.n_blocks == 6
+
+    def test_non_divisible_shape_pads_with_edge_values(self):
+        data = np.arange(10, dtype=np.float64)
+        blocks, grid = split_into_blocks(data, 8)
+        assert blocks.shape == (2, 8)
+        assert blocks[1, -1] == data[-1]  # edge padding repeats the last value
+
+    def test_block_contents_are_contiguous_tiles(self):
+        data = np.arange(16, dtype=np.float64).reshape(4, 4)
+        blocks, _ = split_into_blocks(data, 2)
+        np.testing.assert_array_equal(blocks[0], [[0, 1], [4, 5]])
+        np.testing.assert_array_equal(blocks[1], [[2, 3], [6, 7]])
+
+    def test_grid_dict_roundtrip(self):
+        _, grid = split_into_blocks(np.zeros((10, 12)), 4)
+        grid2 = BlockGrid.from_dict(grid.to_dict())
+        assert grid2 == grid
+
+    def test_invalid_block_size_raises(self):
+        with pytest.raises(ValueError):
+            split_into_blocks(np.zeros((8, 8)), 0)
+
+    def test_wrong_block_count_on_reassemble_raises(self):
+        blocks, grid = split_into_blocks(np.zeros((8, 8)), 4)
+        with pytest.raises(ValueError):
+            reassemble_blocks(blocks[:-1], grid)
+
+    def test_rejects_4d(self):
+        with pytest.raises(ValueError):
+            split_into_blocks(np.zeros((2, 2, 2, 2)), 2)
+
+    def test_block_size_sequence_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            split_into_blocks(np.zeros((8, 8)), (4, 4, 4))
+
+    @settings(max_examples=30, deadline=None)
+    @given(h=st.integers(1, 50), w=st.integers(1, 50), b=st.integers(1, 16))
+    def test_roundtrip_property_2d(self, h, w, b):
+        rng = np.random.default_rng(0)
+        data = rng.normal(size=(h, w))
+        blocks, grid = split_into_blocks(data, b)
+        np.testing.assert_array_equal(reassemble_blocks(blocks, grid), data)

@@ -1,0 +1,113 @@
+"""Tests for the command-line interface (train / compress / decompress / info)."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.data import load_field_snapshot, save_f32
+from repro.data.loader import load_f32
+from repro.metrics import verify_error_bound
+
+
+@pytest.fixture(scope="module")
+def workdir(tmp_path_factory):
+    """Two small training snapshots + one test snapshot on disk as .f32 files."""
+    root = tmp_path_factory.mktemp("cli")
+    shape = (48, 64)
+    paths = {}
+    for i in range(2):
+        data = load_field_snapshot("CESM-CLDHGH", timestep=i, split="train", shape=shape)
+        path = root / f"train_{i}.f32"
+        save_f32(path, data)
+        paths[f"train_{i}"] = path
+    test_data = load_field_snapshot("CESM-CLDHGH", split="test", shape=shape)
+    paths["test"] = root / "test.f32"
+    save_f32(paths["test"], test_data)
+    paths["root"] = root
+    paths["shape"] = shape
+    return paths
+
+
+COMMON_MODEL_ARGS = ["--block-size", "8", "--latent-size", "4", "--channels", "2", "4"]
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_train_requires_model(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["train", "--dims", "8", "8", "x.f32"])
+
+    def test_compress_requires_error_bound(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["compress", "--dims", "8", "8", "a", "b"])
+
+    def test_unknown_compressor_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["compress", "--dims", "8", "8", "a", "b",
+                                       "--error-bound", "1e-2", "--compressor", "nope"])
+
+
+class TestEndToEnd:
+    def _dims(self, workdir):
+        return [str(d) for d in workdir["shape"]]
+
+    def test_train_compress_decompress_info_aesz(self, workdir, capsys):
+        dims = self._dims(workdir)
+        model = workdir["root"] / "model.npz"
+        rc = main(["train", str(workdir["train_0"]), str(workdir["train_1"]),
+                   "--dims", *dims, "--model", str(model),
+                   "--epochs", "2", "--max-blocks", "64", *COMMON_MODEL_ARGS])
+        assert rc == 0 and model.exists()
+
+        compressed = workdir["root"] / "test.aesz"
+        rc = main(["compress", str(workdir["test"]), str(compressed),
+                   "--dims", *dims, "--error-bound", "1e-2",
+                   "--model", str(model), *COMMON_MODEL_ARGS])
+        assert rc == 0 and compressed.exists()
+        assert compressed.stat().st_size < workdir["test"].stat().st_size
+
+        restored = workdir["root"] / "test.out.f32"
+        rc = main(["decompress", str(compressed), str(restored),
+                   "--dims", *dims, "--model", str(model), *COMMON_MODEL_ARGS])
+        assert rc == 0
+        original = load_f32(workdir["test"], workdir["shape"]).astype(np.float64)
+        reconstructed = load_f32(restored, workdir["shape"]).astype(np.float64)
+        # float32 storage of the reconstruction adds at most a rounding epsilon.
+        assert verify_error_bound(original, reconstructed, 1.05e-2) is None
+
+        rc = main(["info", str(workdir["test"]), str(restored), "--dims", *dims,
+                   "--compressed", str(compressed)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "PSNR" in out and "compression" in out
+
+    @pytest.mark.parametrize("name", ["sz21", "zfp", "szauto", "szinterp"])
+    def test_baseline_compressors_roundtrip(self, workdir, name):
+        dims = self._dims(workdir)
+        compressed = workdir["root"] / f"test.{name}"
+        restored = workdir["root"] / f"test.{name}.f32"
+        assert main(["compress", "--dims", *dims, "--error-bound", "1e-3",
+                     "--compressor", name, str(workdir["test"]), str(compressed)]) == 0
+        assert main(["decompress", "--dims", *dims, "--compressor", name,
+                     str(compressed), str(restored)]) == 0
+        original = load_f32(workdir["test"], workdir["shape"]).astype(np.float64)
+        reconstructed = load_f32(restored, workdir["shape"]).astype(np.float64)
+        assert verify_error_bound(original, reconstructed, 1.05e-3) is None
+
+    def test_compress_aesz_without_model_fails(self, workdir):
+        dims = self._dims(workdir)
+        with pytest.raises(SystemExit):
+            main(["compress", "--dims", *dims, "--error-bound", "1e-2",
+                  str(workdir["test"]), str(workdir["root"] / "x.aesz")])
+
+    def test_decompress_wrong_dims_fails(self, workdir):
+        dims = self._dims(workdir)
+        compressed = workdir["root"] / "wrongdims.sz21"
+        main(["compress", "--dims", *dims, "--error-bound", "1e-2",
+              "--compressor", "sz21", str(workdir["test"]), str(compressed)])
+        with pytest.raises(SystemExit):
+            main(["decompress", "--dims", "10", "10", "--compressor", "sz21",
+                  str(compressed), str(workdir["root"] / "bad.f32")])

@@ -1,0 +1,186 @@
+"""Tests for the synthetic SDRBench-like dataset substrate."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    DATASETS,
+    FieldSpec,
+    SyntheticDataset,
+    gaussian_random_field,
+    get_dataset,
+    load_f32,
+    load_field_snapshot,
+    load_training_blocks,
+    save_f32,
+    train_test_snapshots,
+)
+from repro.data.catalog import FIELDS, SPLITS
+from repro.data.fields import gaussian_bumps, radial_coordinates, ricker_wavelet, smooth_ramp
+from repro.data.loader import load_f64, save_f64
+
+ALL_FIELDS = sorted(FIELDS)
+
+
+class TestFieldBuildingBlocks:
+    def test_grf_shape_and_normalization(self):
+        f = gaussian_random_field((32, 48), power_exponent=3.0, rng=0)
+        assert f.shape == (32, 48)
+        assert abs(f.mean()) < 1e-10
+        assert f.std() == pytest.approx(1.0, abs=1e-6)
+
+    def test_grf_deterministic_in_seed(self):
+        a = gaussian_random_field((16, 16), rng=5)
+        b = gaussian_random_field((16, 16), rng=5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_grf_phase_shift_translates_field(self):
+        a = gaussian_random_field((32, 32), rng=1, phase_shift=(0, 0))
+        b = gaussian_random_field((32, 32), rng=1, phase_shift=(0, 3))
+        np.testing.assert_allclose(np.roll(a, 3, axis=1), b, atol=1e-8)
+
+    def test_grf_smoothness_increases_with_exponent(self):
+        rough = gaussian_random_field((64, 64), power_exponent=1.0, rng=2)
+        smooth = gaussian_random_field((64, 64), power_exponent=4.0, rng=2)
+        tv = lambda f: np.abs(np.diff(f, axis=0)).mean()  # noqa: E731
+        assert tv(smooth) < tv(rough)
+
+    def test_radial_coordinates_center_is_zero(self):
+        r = radial_coordinates((5, 5))
+        assert r[2, 2] == pytest.approx(0.0)
+
+    def test_gaussian_bumps_nonnegative_peaks(self):
+        f = gaussian_bumps((20, 20), 5, (1.0, 2.0), (1.0, 2.0), rng=0)
+        assert f.max() > 0.5
+
+    def test_ricker_peak_at_radius(self):
+        r = np.linspace(0, 20, 200)
+        w = ricker_wavelet(r, radius=10.0, width=2.0)
+        assert abs(r[np.argmax(w)] - 10.0) < 0.2
+
+    def test_smooth_ramp_monotone(self):
+        ramp = smooth_ramp((10, 4), axis=0, low=0.0, high=1.0)
+        assert np.all(np.diff(ramp[:, 0]) >= 0)
+
+
+class TestGenerators:
+    @pytest.mark.parametrize("field_name", ALL_FIELDS)
+    def test_snapshot_shape_dtype_and_determinism(self, field_name):
+        spec = FIELDS[field_name]
+        small_shape = tuple(max(8, s // 4) for s in spec.default_shape)
+        a = load_field_snapshot(field_name, shape=small_shape)
+        b = load_field_snapshot(field_name, shape=small_shape)
+        assert a.shape == small_shape
+        assert a.dtype == np.float32
+        assert np.all(np.isfinite(a))
+        np.testing.assert_array_equal(a, b)
+
+    @pytest.mark.parametrize("field_name", ["CESM-CLDHGH", "NYX-baryon_density", "Hurricane-U"])
+    def test_different_timesteps_differ_but_correlate(self, field_name):
+        ds = get_dataset(FIELDS[field_name].app)
+        spec = FIELDS[field_name]
+        shape = tuple(max(8, s // 4) for s in spec.default_shape)
+        t0 = ds.snapshot(spec.field, 0, shape).astype(np.float64)
+        t1 = ds.snapshot(spec.field, 1, shape).astype(np.float64)
+        assert not np.array_equal(t0, t1)
+        corr = np.corrcoef(t0.ravel(), t1.ravel())[0, 1]
+        assert corr > 0.3  # consecutive snapshots are strongly related
+
+    def test_cesm_cloud_fraction_in_unit_interval(self):
+        f = load_field_snapshot("CESM-CLDHGH", shape=(64, 64))
+        assert f.min() >= 0.0 and f.max() <= 1.0
+
+    def test_freqsh_has_exact_zero_regions(self):
+        f = load_field_snapshot("CESM-FREQSH", shape=(128, 128))
+        assert np.mean(f == 0.0) > 0.05
+
+    def test_qvapor_nonnegative(self):
+        f = load_field_snapshot("Hurricane-QVAPOR", shape=(8, 32, 32))
+        assert f.min() >= 0.0
+
+    def test_exafel_nonnegative_with_bright_peaks(self):
+        f = load_field_snapshot("EXAFEL-raw", shape=(64, 48))
+        assert f.min() >= 0.0
+        assert f.max() > 10 * np.median(f)
+
+    def test_rtm_wavefront_moves_with_time(self):
+        ds = get_dataset("RTM")
+        a = ds.snapshot("snapshot", 20, (24, 24, 16)).astype(np.float64)
+        b = ds.snapshot("snapshot", 30, (24, 24, 16)).astype(np.float64)
+        assert not np.array_equal(a, b)
+
+
+class TestCatalog:
+    def test_dataset_list(self):
+        assert set(DATASETS) == {"CESM", "EXAFEL", "NYX", "Hurricane", "RTM"}
+
+    def test_every_field_has_split(self):
+        for spec in FIELDS.values():
+            assert spec.app in SPLITS
+
+    def test_field_spec_name(self):
+        assert FIELDS["CESM-CLDHGH"].name == "CESM-CLDHGH"
+        assert FIELDS["CESM-CLDHGH"].dimensionality == 2
+
+    def test_unknown_application_raises(self):
+        with pytest.raises(KeyError):
+            SyntheticDataset("NOPE")
+
+    def test_unknown_field_raises(self):
+        with pytest.raises(KeyError):
+            get_dataset("CESM").snapshot("nope", 0)
+
+    def test_unknown_field_name_raises(self):
+        with pytest.raises(KeyError):
+            load_field_snapshot("CESM-nope")
+
+    def test_invalid_split_raises(self):
+        with pytest.raises(ValueError):
+            load_field_snapshot("CESM-CLDHGH", split="validation")
+
+    def test_train_test_split_disjoint(self):
+        train, test = train_test_snapshots("CESM-CLDHGH", shape=(32, 48),
+                                           train_limit=2, test_limit=2)
+        for tr in train:
+            for te in test:
+                assert not np.array_equal(tr, te)
+
+    def test_nyx_test_split_uses_other_simulation(self):
+        # Same time step but different seed offset => different data (Table VII).
+        ds = get_dataset("NYX")
+        t = ds.split.test_timesteps[0]
+        same_sim = ds.snapshot("baryon_density", t, (16, 16, 16))
+        other_sim = ds.snapshot("baryon_density", t, (16, 16, 16),
+                                seed_offset=ds.split.test_seed_offset)
+        assert not np.array_equal(same_sim, other_sim)
+
+    def test_dataset_fields_listing(self):
+        assert set(get_dataset("NYX").fields) == {
+            "baryon_density", "temperature", "dark_matter_density"}
+
+    def test_load_training_blocks_shape(self):
+        blocks = load_training_blocks("CESM-CLDHGH", 16, max_blocks=32, shape=(64, 64),
+                                      train_limit=1)
+        assert blocks.ndim == 4  # (n, 1, 16, 16)
+        assert blocks.shape[1:] == (1, 16, 16)
+        assert blocks.shape[0] <= 32
+
+
+class TestLoader:
+    def test_f32_roundtrip(self, tmp_path):
+        data = np.random.default_rng(0).normal(size=(8, 9)).astype(np.float32)
+        path = tmp_path / "field.f32"
+        save_f32(path, data)
+        np.testing.assert_array_equal(load_f32(path, (8, 9)), data)
+
+    def test_f64_roundtrip(self, tmp_path):
+        data = np.random.default_rng(1).normal(size=(4, 5, 6))
+        path = tmp_path / "field.f64"
+        save_f64(path, data)
+        np.testing.assert_array_equal(load_f64(path, (4, 5, 6)), data)
+
+    def test_wrong_shape_raises(self, tmp_path):
+        path = tmp_path / "field.f32"
+        save_f32(path, np.zeros((4, 4), dtype=np.float32))
+        with pytest.raises(ValueError):
+            load_f32(path, (5, 5))

@@ -1,0 +1,109 @@
+"""End-to-end integration tests crossing module boundaries.
+
+These tests exercise the same paths the benchmark harness uses: train an
+autoencoder on training snapshots of a synthetic field, compress unseen test
+snapshots, compare against the baseline compressors and check the qualitative
+relationships the paper reports.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    AESZCompressor,
+    AESZConfig,
+    SZ21Compressor,
+    SZAutoCompressor,
+    ZFPCompressor,
+    psnr,
+    verify_error_bound,
+)
+from repro.autoencoders import AutoencoderConfig, SlicedWassersteinAutoencoder
+from repro.compressors import LosslessCompressor, SZInterpCompressor
+from repro.data import train_test_snapshots
+from repro.metrics import rate_distortion_sweep
+from repro.nn import TrainingConfig
+
+
+class TestTrainOnTrainCompressOnTest:
+    """The paper's protocol: the model never sees the data it compresses."""
+
+    def test_model_generalizes_to_unseen_snapshot(self, trained_aesz_2d):
+        _, test = train_test_snapshots("CESM-CLDHGH", shape=(64, 96), test_limit=1)
+        data = test[0].astype(np.float64)
+        recon = trained_aesz_2d.decompress(trained_aesz_2d.compress(data, 1e-2))
+        assert verify_error_bound(data, recon, 1e-2) is None
+        assert psnr(data, recon) > 35.0
+
+    def test_same_model_reused_across_snapshots(self, trained_aesz_2d):
+        _, test = train_test_snapshots("CESM-CLDHGH", shape=(64, 96), test_limit=2)
+        sizes = []
+        for snap in test:
+            payload = trained_aesz_2d.compress(snap.astype(np.float64), 1e-2)
+            recon = trained_aesz_2d.decompress(payload)
+            assert verify_error_bound(snap, recon, 1e-2) is None
+            sizes.append(len(payload))
+        assert len(sizes) == 2
+
+
+class TestCrossCompressorRelationships:
+    @pytest.fixture(scope="class")
+    def test_field(self):
+        _, test = train_test_snapshots("CESM-CLDHGH", shape=(64, 96), test_limit=1)
+        return test[0].astype(np.float64)
+
+    def test_every_error_bounded_compressor_respects_bound(self, trained_aesz_2d, test_field):
+        compressors = [trained_aesz_2d, SZ21Compressor(), ZFPCompressor(),
+                       SZAutoCompressor(), SZInterpCompressor()]
+        for comp in compressors:
+            recon = comp.decompress(comp.compress(test_field, 5e-3))
+            assert verify_error_bound(test_field, recon, 5e-3) is None, comp.name
+
+    def test_lossy_beats_lossless_ratio(self, test_field):
+        lossless = LosslessCompressor().roundtrip(test_field.astype(np.float32), 0.0)
+        lossy = SZ21Compressor().roundtrip(test_field, 1e-3)
+        assert lossy.compression_ratio > lossless.compression_ratio
+
+    def test_aesz_competitive_with_sz21_at_high_ratio(self, trained_aesz_2d, test_field):
+        """The paper's headline regime: at a large error bound (low bit rate),
+        AE-SZ should be at least roughly competitive with SZ2.1."""
+        eb = 2e-2
+        aesz_size = len(trained_aesz_2d.compress(test_field, eb))
+        sz_size = len(SZ21Compressor().compress(test_field, eb))
+        assert aesz_size < 3.0 * sz_size
+
+    def test_rate_distortion_sweep_is_monotone(self, trained_aesz_2d, test_field):
+        curve = rate_distortion_sweep(trained_aesz_2d, test_field, [2e-2, 5e-3, 1e-3])
+        psnrs = curve.psnrs()
+        bit_rates = curve.bit_rates()
+        assert np.all(np.diff(psnrs) > 0)
+        assert np.all(np.diff(bit_rates) > 0)
+
+
+class TestThreeDimensionalPipeline:
+    def test_3d_end_to_end_with_baselines(self, trained_aesz_3d):
+        _, test = train_test_snapshots("NYX-baryon_density", shape=(24, 24, 24), test_limit=1)
+        data = test[0].astype(np.float64)
+        for comp in [trained_aesz_3d, SZAutoCompressor(), SZInterpCompressor()]:
+            recon = comp.decompress(comp.compress(data, 1e-2))
+            assert verify_error_bound(data, recon, 1e-2) is None
+
+
+class TestModelPersistenceAcrossProcessBoundary:
+    def test_saved_model_gives_identical_streams(self, trained_aesz_2d, tmp_path, field_2d):
+        path = tmp_path / "swae.npz"
+        trained_aesz_2d.autoencoder.save(path)
+
+        config = trained_aesz_2d.autoencoder.config
+        fresh_ae = SlicedWassersteinAutoencoder(
+            AutoencoderConfig(ndim=config.ndim, block_size=config.block_size,
+                              latent_size=config.latent_size, channels=config.channels,
+                              seed=config.seed))
+        fresh_ae.load(path)
+        fresh_comp = AESZCompressor(fresh_ae, AESZConfig(block_size=config.block_size))
+
+        original = trained_aesz_2d.compress(field_2d, 1e-3)
+        reloaded = fresh_comp.compress(field_2d, 1e-3)
+        assert original == reloaded
+        np.testing.assert_array_equal(trained_aesz_2d.decompress(original),
+                                      fresh_comp.decompress(reloaded))

@@ -1,0 +1,93 @@
+"""Tests for the im2col / col2im kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn.im2col import col2im, conv_output_shape, conv_transpose_output_shape, im2col
+
+
+class TestOutputShapes:
+    def test_conv_output_shape_basic(self):
+        assert conv_output_shape((32, 32), (3, 3), (2, 2), (1, 1)) == (16, 16)
+
+    def test_conv_output_shape_no_padding(self):
+        assert conv_output_shape((5,), (3,), (1,), (0,)) == (3,)
+
+    def test_conv_output_collapse_raises(self):
+        with pytest.raises(ValueError):
+            conv_output_shape((2,), (5,), (1,), (0,))
+
+    def test_conv_transpose_output_shape(self):
+        assert conv_transpose_output_shape((16,), (3,), (2,), (1,), (1,)) == (32,)
+
+    def test_conv_transpose_collapse_raises(self):
+        with pytest.raises(ValueError):
+            conv_transpose_output_shape((1,), (1,), (1,), (5,), (0,))
+
+
+class TestIm2col:
+    def test_im2col_shape_2d(self):
+        x = np.arange(2 * 3 * 8 * 8, dtype=float).reshape(2, 3, 8, 8)
+        cols = im2col(x, (3, 3), (1, 1), (1, 1))
+        assert cols.shape == (2, 3 * 9, 64)
+
+    def test_im2col_shape_3d(self):
+        x = np.zeros((1, 2, 4, 4, 4))
+        cols = im2col(x, (3, 3, 3), (2, 2, 2), (1, 1, 1))
+        assert cols.shape == (1, 2 * 27, 2 * 2 * 2)
+
+    def test_im2col_values_identity_kernel(self):
+        # 1x1 kernel, stride 1: columns are just the flattened input.
+        x = np.random.default_rng(0).normal(size=(1, 2, 5, 5))
+        cols = im2col(x, (1, 1), (1, 1), (0, 0))
+        np.testing.assert_allclose(cols.reshape(1, 2, 25), x.reshape(1, 2, 25))
+
+    def test_im2col_known_patch(self):
+        x = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+        cols = im2col(x, (2, 2), (2, 2), (0, 0))
+        # First patch (top-left 2x2 block) in row-major order.
+        np.testing.assert_allclose(cols[0, :, 0], [0, 1, 4, 5])
+
+    def test_bad_kernel_length_raises(self):
+        with pytest.raises(ValueError):
+            im2col(np.zeros((1, 1, 4, 4)), (3, 3, 3), (1, 1), (0, 0))
+
+    def test_negative_padding_raises(self):
+        with pytest.raises(ValueError):
+            im2col(np.zeros((1, 1, 4, 4)), (3, 3), (1, 1), (-1, 0))
+
+
+class TestCol2imAdjoint:
+    """col2im must be the exact adjoint of im2col: <im2col(x), y> == <x, col2im(y)>."""
+
+    @pytest.mark.parametrize("shape,kernel,stride,padding", [
+        ((2, 3, 8, 8), (3, 3), (1, 1), (1, 1)),
+        ((1, 2, 9, 7), (3, 3), (2, 2), (1, 1)),
+        ((2, 1, 6, 6, 6), (3, 3, 3), (2, 2, 2), (1, 1, 1)),
+        ((1, 2, 10,), (3,), (2,), (0,)),
+    ])
+    def test_adjoint_property(self, shape, kernel, stride, padding):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=shape)
+        cols = im2col(x, kernel, stride, padding)
+        y = rng.normal(size=cols.shape)
+        lhs = float(np.sum(cols * y))
+        rhs = float(np.sum(x * col2im(y, shape, kernel, stride, padding)))
+        assert lhs == pytest.approx(rhs, rel=1e-10)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        h=st.integers(4, 10), w=st.integers(4, 10),
+        stride=st.integers(1, 2), pad=st.integers(0, 1),
+    )
+    def test_adjoint_property_hypothesis(self, h, w, stride, pad):
+        rng = np.random.default_rng(0)
+        shape = (1, 1, h, w)
+        x = rng.normal(size=shape)
+        cols = im2col(x, (3, 3), (stride, stride), (pad, pad))
+        y = rng.normal(size=cols.shape)
+        lhs = float(np.sum(cols * y))
+        rhs = float(np.sum(x * col2im(y, shape, (3, 3), (stride, stride), (pad, pad))))
+        assert lhs == pytest.approx(rhs, rel=1e-9, abs=1e-9)

@@ -1,0 +1,140 @@
+"""Tests for error-controlled quantization (the core error-bound guarantee)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.quantization import (
+    LinearQuantizer,
+    UniformQuantizer,
+    dequantize_prediction_errors,
+    quantize_prediction_errors,
+)
+from repro.quantization.linear import UNPREDICTABLE_CODE
+
+
+class TestLinearQuantizer:
+    def test_bound_holds_for_good_predictions(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(size=(40, 40))
+        pred = data + rng.normal(scale=0.01, size=data.shape)
+        qr = quantize_prediction_errors(data, pred, 0.005)
+        assert np.max(np.abs(qr.reconstructed - data)) <= 0.005 * (1 + 1e-9)
+
+    def test_bound_holds_for_terrible_predictions(self):
+        rng = np.random.default_rng(1)
+        data = rng.normal(size=1000)
+        pred = np.zeros_like(data) + 100.0  # way off -> everything unpredictable
+        qr = quantize_prediction_errors(data, pred, 1e-3, num_bins=16)
+        assert np.max(np.abs(qr.reconstructed - data)) <= 1e-3 * (1 + 1e-9)
+        assert qr.n_unpredictable > 0
+
+    def test_roundtrip_matches_reconstruction(self):
+        rng = np.random.default_rng(2)
+        data = rng.normal(size=(20, 30))
+        pred = data + rng.normal(scale=0.5, size=data.shape)
+        eb = 0.01
+        qr = quantize_prediction_errors(data, pred, eb)
+        rec = dequantize_prediction_errors(qr.codes, pred, qr.unpredictable, eb)
+        np.testing.assert_array_equal(rec, qr.reconstructed)
+
+    def test_unpredictable_code_is_zero(self):
+        data = np.array([100.0])
+        pred = np.array([0.0])
+        qr = quantize_prediction_errors(data, pred, 1e-6, num_bins=4)
+        assert qr.codes[0] == UNPREDICTABLE_CODE
+
+    def test_perfect_prediction_gives_center_codes(self):
+        data = np.ones(10)
+        qr = quantize_prediction_errors(data, data, 0.1, num_bins=64)
+        assert set(qr.codes.tolist()) == {32}
+        assert qr.n_unpredictable == 0
+
+    def test_codes_within_bin_range(self):
+        rng = np.random.default_rng(3)
+        data = rng.normal(size=500)
+        pred = data + rng.normal(scale=1.0, size=500)
+        qr = quantize_prediction_errors(data, pred, 1e-2, num_bins=256)
+        assert qr.codes.min() >= 0 and qr.codes.max() < 256
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            quantize_prediction_errors(np.zeros(3), np.zeros(4), 0.1)
+
+    def test_invalid_error_bound_raises(self):
+        with pytest.raises(ValueError):
+            quantize_prediction_errors(np.zeros(3), np.zeros(3), 0.0)
+
+    def test_invalid_num_bins_raises(self):
+        with pytest.raises(ValueError):
+            quantize_prediction_errors(np.zeros(3), np.zeros(3), 0.1, num_bins=1)
+
+    def test_dequantize_wrong_unpred_count_raises(self):
+        data, pred = np.array([100.0]), np.array([0.0])
+        qr = quantize_prediction_errors(data, pred, 1e-6, num_bins=4)
+        with pytest.raises(ValueError):
+            dequantize_prediction_errors(qr.codes, pred, np.zeros(0), 1e-6, num_bins=4)
+
+    def test_object_wrapper_equivalent(self):
+        rng = np.random.default_rng(4)
+        data = rng.normal(size=100)
+        pred = data + 0.01 * rng.normal(size=100)
+        q = LinearQuantizer(1e-2, num_bins=128)
+        qr = q.quantize(data, pred)
+        rec = q.dequantize(qr.codes, pred, qr.unpredictable)
+        np.testing.assert_array_equal(rec, qr.reconstructed)
+
+    def test_wrapper_validation(self):
+        with pytest.raises(ValueError):
+            LinearQuantizer(0.0)
+        with pytest.raises(ValueError):
+            LinearQuantizer(0.1, num_bins=0)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        data=hnp.arrays(np.float64, st.integers(1, 200),
+                        elements=st.floats(-1e6, 1e6, allow_nan=False)),
+        noise_scale=st.floats(0, 10),
+        eb=st.floats(1e-6, 1.0),
+    )
+    def test_error_bound_property(self, data, noise_scale, eb):
+        """For any data, any prediction and any bound: |recon - data| <= eb."""
+        rng = np.random.default_rng(0)
+        pred = data + noise_scale * rng.normal(size=data.shape)
+        qr = quantize_prediction_errors(data, pred, eb, num_bins=1024)
+        assert np.max(np.abs(qr.reconstructed - data)) <= eb * (1 + 1e-9)
+        rec = dequantize_prediction_errors(qr.codes, pred, qr.unpredictable, eb, num_bins=1024)
+        np.testing.assert_array_equal(rec, qr.reconstructed)
+
+
+class TestUniformQuantizer:
+    def test_bound_holds(self):
+        rng = np.random.default_rng(0)
+        values = rng.normal(scale=100, size=1000)
+        q = UniformQuantizer(0.05)
+        codes, rec = q.roundtrip(values)
+        assert np.max(np.abs(rec - values)) <= 0.05 * (1 + 1e-12)
+
+    def test_codes_are_integers(self):
+        q = UniformQuantizer(0.1)
+        assert q.quantize(np.array([0.05, 0.3])).dtype == np.int64
+
+    def test_dequantize_inverse_of_quantize_on_grid(self):
+        q = UniformQuantizer(0.5)
+        codes = np.array([-3, 0, 7])
+        np.testing.assert_allclose(q.quantize(q.dequantize(codes)), codes)
+
+    def test_invalid_bound_raises(self):
+        with pytest.raises(ValueError):
+            UniformQuantizer(0.0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(hnp.arrays(np.float64, st.integers(1, 100),
+                      elements=st.floats(-1e5, 1e5, allow_nan=False)),
+           st.floats(1e-5, 10.0))
+    def test_bound_property(self, values, eb):
+        q = UniformQuantizer(eb)
+        _, rec = q.roundtrip(values)
+        assert np.max(np.abs(rec - values)) <= eb * (1 + 1e-9)

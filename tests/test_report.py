@@ -1,0 +1,62 @@
+"""Tests for the benchmark-results report aggregator."""
+
+import pytest
+
+from repro.analysis.report import (
+    SECTION_TITLES,
+    generate_report,
+    read_results_csv,
+    write_report,
+)
+
+
+@pytest.fixture
+def results_dir(tmp_path):
+    (tmp_path / "table1_ae_types.csv").write_text(
+        "ae_type,prediction_psnr_db\nSWAE,43.9\nWAE,42.4\n")
+    (tmp_path / "fig10_ae_block_ratio.csv").write_text(
+        "field,error_bound,ae_block_fraction\nCESM-CLDHGH,0.01,0.5\n")
+    return tmp_path
+
+
+class TestReadCsv:
+    def test_reads_rows_as_dicts(self, results_dir):
+        rows = read_results_csv(results_dir / "table1_ae_types.csv")
+        assert rows[0]["ae_type"] == "SWAE"
+        assert len(rows) == 2
+
+
+class TestGenerateReport:
+    def test_contains_sections_for_present_csvs_only(self, results_dir):
+        report = generate_report(results_dir)
+        assert "Table I" in report
+        assert "Fig. 10" in report
+        assert "Fig. 8" not in report  # CSV not present
+
+    def test_contains_table_rows(self, results_dir):
+        report = generate_report(results_dir)
+        assert "| SWAE | 43.9 |" in report
+
+    def test_row_truncation(self, results_dir):
+        (results_dir / "fig8_rate_distortion.csv").write_text(
+            "field,psnr_db\n" + "\n".join(f"f{i},{i}" for i in range(50)))
+        report = generate_report(results_dir, max_rows_per_table=10)
+        assert "more rows in the CSV" in report
+
+    def test_missing_directory_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            generate_report(tmp_path / "nope")
+
+    def test_empty_directory_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            generate_report(tmp_path)
+
+    def test_every_known_section_has_title(self):
+        assert all(title for title in SECTION_TITLES.values())
+
+
+class TestWriteReport:
+    def test_writes_file(self, results_dir, tmp_path):
+        out = write_report(results_dir, tmp_path / "sub" / "REPORT.md")
+        assert out.exists()
+        assert "AE-SZ reproduction results" in out.read_text()
