@@ -1,0 +1,107 @@
+"""Microbenchmark for the entropy-coding hot path: Huffman encode/decode.
+
+The AE-SZ decompression time is dominated by the Huffman stage (Algorithm 1,
+line 17), so this benchmark tracks the codec's symbol throughput directly: a
+1M-symbol stream drawn from a 200-symbol zipf-skewed alphabet, the shape
+produced by linear-scale quantization of prediction errors.  The stream-format
+v2 decoder must stay >= 10x faster than the seed's bit-serial decoder
+(1.41 s for this workload on the reference machine, ~0.7 M symbols/s).
+
+Run standalone with ``python benchmarks/bench_huffman_decode.py`` (add
+``--smoke`` for a quick CI-sized run) or via pytest-benchmark like the other
+benchmark modules.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+if __package__ in (None, ""):  # standalone execution
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1]))
+
+from repro.encoding import EntropyCodec, HuffmanCodec
+
+N_SYMBOLS = 1_000_000
+N_SMOKE_SYMBOLS = 50_000
+ALPHABET = 200
+REPEATS = 3
+
+
+def _workload(n_symbols: int, alphabet: int, seed: int = 0) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return rng.zipf(1.5, size=n_symbols) % alphabet
+
+
+def run_huffman_bench(n_symbols: int = N_SYMBOLS, alphabet: int = ALPHABET,
+                      repeats: int = REPEATS) -> list:
+    """Time Huffman and full-entropy-stage roundtrips; returns report rows."""
+    syms = _workload(n_symbols, alphabet)
+    rows = []
+    for name, codec in [("HuffmanCodec", HuffmanCodec()),
+                        ("EntropyCodec(zlib)", EntropyCodec())]:
+        enc_times, dec_times = [], []
+        payload = codec.encode(syms)
+        decoded = codec.decode(payload)
+        if not np.array_equal(decoded, syms):
+            raise AssertionError(f"{name}: roundtrip is not bit-identical")
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            payload = codec.encode(syms)
+            t1 = time.perf_counter()
+            codec.decode(payload)
+            t2 = time.perf_counter()
+            enc_times.append(t1 - t0)
+            dec_times.append(t2 - t1)
+        enc, dec = min(enc_times), min(dec_times)
+        rows.append({
+            "codec": name,
+            "n_symbols": n_symbols,
+            "alphabet": alphabet,
+            "encode_s": round(enc, 4),
+            "decode_s": round(dec, 4),
+            "encode_msym_s": round(n_symbols / enc / 1e6, 2),
+            "decode_msym_s": round(n_symbols / dec / 1e6, 2),
+            "payload_bytes": len(payload),
+        })
+    return rows
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="small CI-sized run (correctness + plumbing only)")
+    args = parser.parse_args(argv)
+    n = N_SMOKE_SYMBOLS if args.smoke else N_SYMBOLS
+    rows = run_huffman_bench(n_symbols=n, repeats=1 if args.smoke else REPEATS)
+    for row in rows:
+        print(" ".join(f"{k}={v}" for k, v in row.items()))
+    return 0
+
+
+try:
+    import pytest
+except ImportError:  # standalone without pytest installed
+    pytest = None
+
+if pytest is not None:
+    from benchmarks.common import report_table, run_once
+
+    @pytest.mark.benchmark(group="huffman")
+    def test_huffman_decode_speed(benchmark):
+        rows = run_once(benchmark, run_huffman_bench)
+        report_table("huffman_decode", rows,
+                     title="Huffman microbenchmark: 1M symbols, 200-symbol alphabet")
+        huff = rows[0]
+        # The vectorized lane decoder must beat the seed's ~0.7 Msym/s
+        # bit-serial loop by an order of magnitude.
+        assert huff["decode_msym_s"] > 7.0, huff
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -30,6 +30,9 @@ SPEED_FIELDS = {
 
 
 def _measure(compressor, data) -> tuple:
+    # MB/s against the paper's float32-origin convention (the harness casts
+    # fields to float64 for numerics; using data.nbytes would double every
+    # throughput figure relative to Table VIII and the seed baselines).
     nbytes = data.size * 4
     start = time.perf_counter()
     payload = compressor.compress(data, ERROR_BOUND)

@@ -44,7 +44,14 @@ FLAG_MEAN = 2
 
 @dataclass
 class CompressionStats:
-    """Bookkeeping produced by :meth:`AESZCompressor.compress` (used for Fig. 10)."""
+    """Bookkeeping produced by :meth:`AESZCompressor.compress` (used for Fig. 10).
+
+    ``original_bytes`` reflects the true input dtype (``original_dtype``), so
+    ``compression_ratio`` is the real achieved ratio.  This differs from
+    :class:`repro.compressors.base.CompressorResult`, which deliberately keeps
+    the paper's float32-origin convention (32 bits/value) so cross-compressor
+    tables stay comparable with the published numbers.
+    """
 
     n_blocks: int = 0
     n_ae_blocks: int = 0
@@ -52,6 +59,7 @@ class CompressionStats:
     n_mean_blocks: int = 0
     compressed_bytes: int = 0
     original_bytes: int = 0
+    original_dtype: str = ""
     section_bytes: dict = field(default_factory=dict)
 
     @property
@@ -64,6 +72,33 @@ class CompressionStats:
         if self.compressed_bytes == 0:
             return float("inf")
         return self.original_bytes / self.compressed_bytes
+
+
+def _output_dtype_and_bound(data: np.ndarray, abs_eb: float,
+                            dtype: np.dtype) -> Tuple[np.dtype, float]:
+    """Decide the reconstruction dtype and the internal quantization bound.
+
+    Casting the float64 reconstruction to a narrower float adds up to half an
+    ulp of rounding.  When the input dtype is narrower than float64, the
+    internal bound is *tightened* by that worst-case rounding so the
+    user-requested bound still holds after the cast — by construction, not by
+    luck.  If the rounding is not small against ``abs_eb`` (bounds near the
+    dtype's precision) or values would overflow the dtype, the reconstruction
+    stays float64, which always honours the bound.
+    """
+    dtype = np.dtype(dtype)
+    if not np.issubdtype(dtype, np.floating) or dtype.itemsize >= 8:
+        return np.dtype(np.float64), abs_eb
+    max_abs = float(np.max(np.abs(data))) if data.size else 0.0
+    info = np.finfo(dtype)
+    if max_abs + abs_eb > float(info.max):
+        return np.dtype(np.float64), abs_eb
+    # Reconstruction values satisfy |v| <= max_abs + abs_eb, so this is the
+    # worst-case round-to-nearest error of the final cast.
+    cast_err = 0.5 * float(np.spacing(np.asarray(max_abs + abs_eb, dtype=dtype)))
+    if not np.isfinite(cast_err) or cast_err >= 0.25 * abs_eb:
+        return np.dtype(np.float64), abs_eb
+    return dtype, abs_eb - cast_err
 
 
 def _batched_lorenzo_predict(blocks: np.ndarray) -> np.ndarray:
@@ -178,9 +213,18 @@ class AESZCompressor:
     def compress(self, data: np.ndarray, rel_error_bound: float) -> bytes:
         """Compress ``data`` under a value-range-based relative error bound."""
         ensure_positive(rel_error_bound, "rel_error_bound")
+        src_dtype = np.asarray(data).dtype
         data = ensure_float_array(data, "data")
+        # The reconstruction dtype reported to the decompressor: floating
+        # inputs round-trip to their own dtype (when bound-safe), integer
+        # inputs to float64 (the lossy pipeline cannot restore exact integers).
+        in_dtype = data.dtype
+        # Run the pipeline itself in float64 so predictor selection and
+        # quantization behave identically for float32 and float64 inputs.
+        data = data.astype(np.float64, copy=False)
         vrange = value_range(data)
         abs_eb = rel_error_bound * vrange if vrange > 0 else rel_error_bound
+        out_dtype, abs_eb = _output_dtype_and_bound(data, abs_eb, in_dtype)
 
         blocks, grid = split_into_blocks(data, self.config.block_size)
         n_blocks = blocks.shape[0]
@@ -275,7 +319,12 @@ class AESZCompressor:
             "lorenzo_offset": lorenzo_offset,
             "latent_error_bound": float(latent_eb),
             "predictor_mode": mode,
-            "dtype": str(np.asarray(data).dtype),
+            "dtype": str(in_dtype),
+            # Written only by compressors that ran the bound-safety analysis
+            # in _output_dtype_and_bound; decompress casts on this key alone,
+            # so legacy payloads (which recorded "dtype" without tightening
+            # the bound) keep returning float64 as the seed decompressor did.
+            "output_dtype": str(out_dtype),
         })
         payload = container.to_bytes()
 
@@ -285,7 +334,8 @@ class AESZCompressor:
             n_lorenzo_blocks=int(lor_idx.size),
             n_mean_blocks=int(mean_idx.size),
             compressed_bytes=len(payload),
-            original_bytes=int(data.size * 4),  # single-precision origin
+            original_bytes=int(data.size * src_dtype.itemsize),
+            original_dtype=str(src_dtype),
             section_bytes=section_bytes,
         )
         return payload
@@ -340,4 +390,5 @@ class AESZCompressor:
             blocks[mean_idx] = dequantize_prediction_errors(codes, pred, unpred, abs_eb,
                                                             num_bins)
 
-        return reassemble_blocks(blocks, grid)
+        out = reassemble_blocks(blocks, grid)
+        return out.astype(np.dtype(meta.get("output_dtype", "float64")), copy=False)

@@ -65,11 +65,19 @@ class LatentCodec:
         return LatentEncoding(payload=container.to_bytes(), decoded=decoded)
 
     def decompress(self, payload: bytes) -> np.ndarray:
-        """Recover the (lossy) latent matrix from :meth:`compress` output."""
+        """Recover the (lossy) latent matrix from :meth:`compress` output.
+
+        Raises ``ValueError`` on malformed payloads (bad container, corrupt
+        entropy stream, or a code count that does not match the stored shape).
+        """
         container = ByteContainer.from_bytes(payload)
         meta = container.get_json("meta")
         shape = tuple(meta["shape"])
         error_bound = float(meta["error_bound"])
         offset = int(meta["offset"])
-        codes = self._entropy.decode(container["codes"]).reshape(shape) + offset
+        codes = self._entropy.decode(container["codes"])
+        if codes.size != int(np.prod(shape)):
+            raise ValueError("corrupt latent stream: code count "
+                             f"{codes.size} does not match shape {shape}")
+        codes = codes.reshape(shape) + offset
         return UniformQuantizer(error_bound).dequantize(codes)

@@ -8,7 +8,7 @@ serialize compressed streams.
 """
 
 from repro.encoding.bitstream import BitReader, BitWriter, pack_bits, unpack_bits
-from repro.encoding.huffman import HuffmanCodec, huffman_code_lengths
+from repro.encoding.huffman import MAX_CODE_LENGTH, HuffmanCodec, huffman_code_lengths
 from repro.encoding.lossless import LosslessBackend, ZlibBackend, StoreBackend, get_backend
 from repro.encoding.entropy import EntropyCodec
 from repro.encoding.container import ByteContainer
@@ -19,6 +19,7 @@ __all__ = [
     "pack_bits",
     "unpack_bits",
     "HuffmanCodec",
+    "MAX_CODE_LENGTH",
     "huffman_code_lengths",
     "LosslessBackend",
     "ZlibBackend",

@@ -9,6 +9,8 @@ import numpy as np
 from repro.encoding.huffman import HuffmanCodec
 from repro.encoding.lossless import LosslessBackend, ZlibBackend, get_backend
 
+_RAW_HEADER_BYTES = 9  # flag byte + u64 element count
+
 
 class EntropyCodec:
     """Encode integer quantization codes: canonical Huffman then a dictionary pass.
@@ -41,13 +43,30 @@ class EntropyCodec:
         return flag + self.backend.compress(stage1)
 
     def decode(self, data: bytes) -> np.ndarray:
-        """Invert :meth:`encode`; returns an ``int64`` array."""
+        """Invert :meth:`encode`; returns an ``int64`` array.
+
+        Any malformed or truncated stream raises ``ValueError`` — backend
+        errors, bad flags, and short headers are never surfaced raw.
+        """
         if not data:
             raise ValueError("empty entropy stream")
         flag = data[0]
         if flag == 1:
-            stage1 = self.backend.decompress(data[1:])
+            stage1 = self._decompress_backend(data[1:])
             return self._huffman.decode(stage1)
-        n = int(np.frombuffer(data[1:9], dtype=np.uint64)[0])
-        stage1 = self.backend.decompress(data[9:])
+        if flag != 0:
+            raise ValueError(f"corrupt entropy stream: unknown flag byte {flag}")
+        if len(data) < _RAW_HEADER_BYTES:
+            raise ValueError("corrupt entropy stream: truncated raw header")
+        n = int(np.frombuffer(data[1:_RAW_HEADER_BYTES], dtype=np.uint64)[0])
+        stage1 = self._decompress_backend(data[_RAW_HEADER_BYTES:])
+        if len(stage1) < 8 * n:
+            raise ValueError("corrupt entropy stream: raw payload shorter than count")
         return np.frombuffer(stage1, dtype=np.int64, count=n).copy()
+
+    def _decompress_backend(self, blob: bytes) -> bytes:
+        try:
+            return self.backend.decompress(blob)
+        except Exception as exc:  # zlib.error, lzma/bz2 EOFError, OSError, ...
+            raise ValueError("corrupt entropy stream: backend decompression "
+                             f"failed ({exc})") from exc

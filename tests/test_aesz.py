@@ -250,3 +250,85 @@ class TestConstantField:
         recon = trained_aesz_2d.decompress(payload)
         assert np.max(np.abs(recon - data)) <= 1e-3
         assert len(payload) < data.size  # far below 1 byte per point
+
+
+class TestDtypeHandling:
+    """Regressions: stats assumed float32 input, decompress forced float64."""
+
+    def test_float64_stats_use_real_itemsize(self, trained_aesz_2d, field_2d):
+        trained_aesz_2d.compress(field_2d, 1e-3)
+        stats = trained_aesz_2d.last_stats
+        assert stats.original_bytes == field_2d.size * 8
+        assert stats.original_dtype == "float64"
+
+    def test_float32_input_roundtrips_to_float32(self, trained_aesz_2d, field_2d):
+        data = field_2d.astype(np.float32)
+        payload = trained_aesz_2d.compress(data, 1e-3)
+        assert trained_aesz_2d.last_stats.original_bytes == data.size * 4
+        assert trained_aesz_2d.last_stats.original_dtype == "float32"
+        recon = trained_aesz_2d.decompress(payload)
+        assert recon.dtype == np.float32
+        vrange = float(data.max() - data.min())
+        # The bound holds strictly: compress tightens the internal bound by
+        # the worst-case float32 cast rounding, so no fudge factor is needed.
+        assert np.max(np.abs(recon.astype(np.float64) - data)) <= 1e-3 * vrange
+
+    def test_float32_restore_skipped_when_bound_unsafe(self, trained_aesz_2d):
+        """At bounds near float32 precision the cast itself would violate the
+        bound, so the reconstruction must stay float64 (and hold the bound)."""
+        rng = np.random.default_rng(5)
+        data = rng.uniform(0.0, 1.0, size=(16, 16)).astype(np.float32)
+        payload = trained_aesz_2d.compress(data, 3e-8)
+        recon = trained_aesz_2d.decompress(payload)
+        assert recon.dtype == np.float64
+        assert verify_error_bound(data.astype(np.float64), recon, 3e-8) is None
+
+    def test_float32_near_max_does_not_overflow_to_inf(self, trained_aesz_2d):
+        """Regression: reconstructions exceeding float32 max must stay float64
+        finite instead of casting to inf."""
+        rng = np.random.default_rng(6)
+        data = (rng.uniform(0.5, 1.0, size=(16, 16)) * 3.4e38).astype(np.float32)
+        recon = trained_aesz_2d.decompress(trained_aesz_2d.compress(data, 0.1))
+        assert np.all(np.isfinite(recon))
+
+    def test_legacy_payload_without_output_dtype_returns_float64(self, trained_aesz_2d,
+                                                                 field_2d):
+        """Seed-era payloads recorded meta["dtype"] without the bound-safety
+        analysis; decompress must ignore it and return float64 as before."""
+        from repro.encoding.container import ByteContainer
+        payload = trained_aesz_2d.compress(field_2d.astype(np.float32), 1e-3)
+        container = ByteContainer.from_bytes(payload)
+        meta = container.get_json("meta")
+        del meta["output_dtype"]  # emulate a seed-era stream
+        container.put_json("meta", meta)
+        recon = trained_aesz_2d.decompress(container.to_bytes())
+        assert recon.dtype == np.float64
+
+    def test_integer_input_decompresses_to_float64(self, trained_aesz_2d):
+        data = np.arange(32 * 32, dtype=np.int32).reshape(32, 32)
+        payload = trained_aesz_2d.compress(data, 1e-3)
+        assert trained_aesz_2d.last_stats.original_bytes == data.size * 4
+        assert trained_aesz_2d.decompress(payload).dtype == np.float64
+
+    def test_float32_and_float64_inputs_agree(self, trained_aesz_2d, field_2d):
+        """The pipeline quantizes in float64 regardless of the input dtype."""
+        p32 = trained_aesz_2d.compress(field_2d.astype(np.float32), 1e-3)
+        r32 = trained_aesz_2d.decompress(p32).astype(np.float64)
+        vrange = float(field_2d.max() - field_2d.min())
+        assert verify_error_bound(field_2d.astype(np.float32).astype(np.float64),
+                                  r32, 1e-3 * (1 + 1e-6)) is None
+        assert np.max(np.abs(r32 - field_2d)) <= 2e-3 * vrange
+
+
+class TestHugeQuantizationCodes:
+    def test_tiny_error_bound_wide_range_data(self, trained_aesz_2d):
+        """Regression: Lorenzo integer codes >= 2**32 crashed the Huffman
+        encoder with a bare struct.error at very small error bounds."""
+        comp = AESZCompressor(trained_aesz_2d.autoencoder,
+                              AESZConfig(block_size=trained_aesz_2d.config.block_size,
+                                         predictor_mode="lorenzo"))
+        rng = np.random.default_rng(0)
+        data = rng.uniform(0.0, 1.0, size=(16, 16))
+        payload = comp.compress(data, 1e-12)
+        recon = comp.decompress(payload)
+        assert verify_error_bound(data, recon, 1e-12) is None
