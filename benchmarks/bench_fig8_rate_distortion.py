@@ -25,13 +25,14 @@ import pytest
 from benchmarks.common import (
     FIG8_FIELDS,
     bench_shape,
+    compressor_suite,
     model_cache,
     report_series,
     report_table,
     run_once,
     held_out_snapshot,
 )
-from repro.analysis.experiments import baseline_compressors, build_aesz_for_field
+from repro.analysis.experiments import build_aesz_for_field
 from repro.data.catalog import FIELDS as FIELD_SPECS
 from repro.metrics import rate_distortion_sweep
 from repro.utils.validation import value_range
@@ -42,10 +43,9 @@ ERROR_BOUNDS = [2e-2, 1e-2, 5e-3, 2e-3, 1e-3]
 def _compressors_for(field: str) -> dict:
     cache = model_cache()
     ndim = FIELD_SPECS[field].dimensionality
-    comps = {"SZ2.1": baseline_compressors()["SZ2.1"], "ZFP": baseline_compressors()["ZFP"]}
+    comps = compressor_suite(["sz21", "zfp"])
     if ndim == 3:
-        comps["SZauto"] = baseline_compressors()["SZauto"]
-        comps["SZinterp"] = baseline_compressors()["SZinterp"]
+        comps.update(compressor_suite(["szauto", "szinterp"]))
     comps["AE-SZ"] = build_aesz_for_field(field, cache=cache, shape=bench_shape(field))
     comps["AE-A"] = cache.ae_a_for_field(field, shape=bench_shape(field))
     if ndim == 3:

@@ -14,8 +14,15 @@ import time
 import numpy as np
 import pytest
 
-from benchmarks.common import bench_shape, model_cache, report_table, run_once, held_out_snapshot
-from repro.analysis.experiments import baseline_compressors, build_aesz_for_field
+from benchmarks.common import (
+    bench_shape,
+    compressor_suite,
+    model_cache,
+    report_table,
+    run_once,
+    held_out_snapshot,
+)
+from repro.analysis.experiments import build_aesz_for_field
 from repro.data.catalog import FIELDS as FIELD_SPECS
 from repro.utils.timing import throughput_mb_s
 
@@ -48,7 +55,7 @@ def run_table8() -> list:
     rows = []
     for app, field in SPEED_FIELDS.items():
         data = held_out_snapshot(field)
-        compressors = dict(baseline_compressors())
+        compressors = compressor_suite()
         compressors["AE-SZ"] = build_aesz_for_field(field, cache=cache,
                                                     shape=bench_shape(field))
         compressors["AE-A"] = cache.ae_a_for_field(field, shape=bench_shape(field))

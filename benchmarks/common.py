@@ -20,6 +20,7 @@ import numpy as np
 from repro.analysis import ModelCache, format_table, save_series_csv, write_csv
 from repro.analysis.experiments import TrainingBudget
 from repro.data import train_test_snapshots
+from repro.registry import available_compressors, compressor_spec, get_compressor
 
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
 CACHE_DIR = Path(__file__).resolve().parents[1] / ".model_cache"
@@ -52,6 +53,25 @@ BENCH_BUDGET = TrainingBudget(epochs=20, batch_size=32, learning_rate=2e-3,
 def model_cache() -> ModelCache:
     """The benchmark-wide model cache (training happens once per field)."""
     return ModelCache(cache_dir=CACHE_DIR, budget=BENCH_BUDGET, seed=0)
+
+
+def compressor_suite(names: Optional[Sequence[str]] = None) -> Dict[str, object]:
+    """Registry-driven compressor set, keyed by display name (``SZ2.1``, ...).
+
+    ``names`` are registry ids (see ``repro.available_compressors()``); the
+    default is every registered codec that needs neither a trained model nor a
+    training pass — i.e. the traditional baselines the paper sweeps.
+    """
+    if names is None:
+        names = [n for n in available_compressors()
+                 if not compressor_spec(n).requires_model
+                 and not compressor_spec(n).accepts_model
+                 and n != "lossless"]
+    out: Dict[str, object] = {}
+    for name in names:
+        comp = get_compressor(name)
+        out[comp.name] = comp
+    return out
 
 
 def bench_shape(field_name: str) -> tuple:

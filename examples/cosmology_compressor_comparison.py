@@ -22,8 +22,8 @@ import numpy as np
 from repro import AESZCompressor, AESZConfig
 from repro.analysis import ascii_curve, format_table
 from repro.autoencoders import AutoencoderConfig, SlicedWassersteinAutoencoder
-from repro.compressors import SZ21Compressor, SZAutoCompressor, SZInterpCompressor, ZFPCompressor
 from repro.data import train_test_snapshots
+from repro.registry import get_compressor
 from repro.metrics import rate_distortion_sweep
 from repro.nn import TrainingConfig
 
@@ -44,13 +44,11 @@ def main() -> None:
                                                seed=0), max_blocks=640)
     print(f"  done in {history.total_time:.1f}s\n")
 
-    compressors = {
-        "AE-SZ": aesz,
-        "SZ2.1": SZ21Compressor(),
-        "ZFP": ZFPCompressor(),
-        "SZauto": SZAutoCompressor(),
-        "SZinterp": SZInterpCompressor(),
-    }
+    # The traditional baselines come from the registry, keyed by display name.
+    compressors = {"AE-SZ": aesz}
+    for codec in ("sz21", "zfp", "szauto", "szinterp"):
+        comp = get_compressor(codec)
+        compressors[comp.name] = comp
 
     curves = {}
     rows = []

@@ -6,8 +6,18 @@ the full neural-network substrate, the AE-SZ compressor, the baseline
 compressors it is evaluated against, synthetic SDRBench-like datasets and the
 benchmark harness that regenerates every table and figure of the paper.
 
-Quickstart
-----------
+Quickstart — the self-describing facade (no side-channel arguments on decode):
+
+>>> import numpy as np, repro
+>>> from repro import Rel
+>>> data = np.random.default_rng(0).normal(size=(64, 64)).cumsum(axis=0)
+>>> blob = repro.compress(data, codec="sz21", bound=Rel(1e-3))
+>>> recon = repro.decompress(blob)          # codec/shape/dtype come from the header
+>>> repro.available_compressors()
+('ae_a', 'ae_b', 'aesz', 'lossless', 'sz21', 'szauto', 'szinterp', 'zfp')
+
+The class-level API remains available (and is what the facade wraps):
+
 >>> from repro import AESZCompressor, AESZConfig
 >>> from repro.autoencoders import AutoencoderConfig, SlicedWassersteinAutoencoder
 >>> from repro.data import train_test_snapshots
@@ -16,22 +26,25 @@ Quickstart
 ...                                                     latent_size=8, channels=(4, 8)))
 >>> compressor = AESZCompressor(ae, AESZConfig(block_size=16))
 >>> _ = compressor.train(train)
->>> payload = compressor.compress(test[0], rel_error_bound=1e-2)
->>> reconstruction = compressor.decompress(payload)
+>>> blob = repro.compress(test[0], codec=compressor, bound=Rel(1e-2))
+>>> reconstruction = repro.decompress(blob)   # model travels in the archive
 """
 
 from repro.core import AESZCompressor, AESZConfig, CompressionStats, default_autoencoder_config
 from repro.autoencoders import AutoencoderConfig, SlicedWassersteinAutoencoder, create_autoencoder
+from repro.bounds import Abs, ErrorBound, PtwRel, Rel
 from repro.compressors import (
     AEACompressor,
     AEBCompressor,
     Compressor,
+    CompressorResult,
     LosslessCompressor,
     SZ21Compressor,
     SZAutoCompressor,
     SZInterpCompressor,
     ZFPCompressor,
 )
+from repro.api import compress, decompress, read_header, roundtrip
 from repro.metrics import (
     bit_rate,
     compression_ratio,
@@ -40,10 +53,28 @@ from repro.metrics import (
     rate_distortion_sweep,
     verify_error_bound,
 )
+from repro.registry import (
+    available_compressors,
+    compressor_spec,
+    get_compressor,
+    register_compressor,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "compress",
+    "decompress",
+    "roundtrip",
+    "read_header",
+    "ErrorBound",
+    "Rel",
+    "Abs",
+    "PtwRel",
+    "register_compressor",
+    "get_compressor",
+    "available_compressors",
+    "compressor_spec",
     "AESZCompressor",
     "AESZConfig",
     "CompressionStats",
@@ -52,6 +83,7 @@ __all__ = [
     "SlicedWassersteinAutoencoder",
     "create_autoencoder",
     "Compressor",
+    "CompressorResult",
     "SZ21Compressor",
     "ZFPCompressor",
     "SZAutoCompressor",

@@ -23,15 +23,9 @@ from repro.autoencoders import (
     ResidualConvAutoencoder,
     create_autoencoder,
 )
-from repro.compressors import (
-    AEACompressor,
-    AEBCompressor,
-    SZ21Compressor,
-    SZAutoCompressor,
-    SZInterpCompressor,
-    ZFPCompressor,
-)
+from repro.compressors import AEACompressor, AEBCompressor
 from repro.core import AESZCompressor, AESZConfig, default_autoencoder_config
+from repro.registry import get_compressor
 from repro.data import train_test_snapshots
 from repro.data.catalog import FIELDS
 from repro.metrics import RateDistortionCurve, rate_distortion_sweep
@@ -167,12 +161,20 @@ def build_aesz_for_field(field_name: str, cache: Optional[ModelCache] = None,
 
 
 def baseline_compressors(include_interp: bool = True, include_auto: bool = True) -> Dict[str, object]:
-    """The traditional error-bounded baselines used across the evaluation."""
-    out: Dict[str, object] = {"SZ2.1": SZ21Compressor(), "ZFP": ZFPCompressor()}
+    """The traditional error-bounded baselines used across the evaluation.
+
+    Built from :mod:`repro.registry`, keyed by each compressor's display name
+    (``SZ2.1``, ``ZFP``, ...) as the paper's tables label them.
+    """
+    names = ["sz21", "zfp"]
     if include_auto:
-        out["SZauto"] = SZAutoCompressor()
+        names.append("szauto")
     if include_interp:
-        out["SZinterp"] = SZInterpCompressor()
+        names.append("szinterp")
+    out: Dict[str, object] = {}
+    for name in names:
+        comp = get_compressor(name)
+        out[comp.name] = comp
     return out
 
 

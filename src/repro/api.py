@@ -1,0 +1,322 @@
+"""Top-level facade: ``repro.compress`` / ``repro.decompress`` / ``repro.roundtrip``.
+
+This is the tool-grade entry point the SZ/ZFP command-line tools provide and
+the per-class API did not: :func:`compress` wraps every codec's raw payload in
+a self-describing :class:`repro.encoding.container.Archive` (codec id, shape,
+dtype, error-bound mode + value, codec-private metadata), so
+:func:`decompress` reconstructs the array from the blob alone — no dims, dtype,
+codec class or (for AE-based codecs with an embedded model) model argument.
+
+Error bounds are :class:`repro.bounds.ErrorBound` objects::
+
+    import repro
+    from repro import Rel, Abs, PtwRel
+
+    blob = repro.compress(data, codec="sz21", bound=Rel(1e-3))
+    recon = repro.decompress(blob)
+
+``Rel`` is the paper's value-range-relative mode; ``Abs`` is rescaled exactly
+to the input's value range; ``PtwRel`` is realized with the standard sign+log
+transform (compress ``log |d|`` under an absolute bound of ``log(1+eps)``),
+with lossless sign/zero masks stored as archive sections so zeros and signs
+reconstruct exactly.
+
+Raw payloads produced by the per-class ``compress`` methods keep decoding
+through the per-class ``decompress`` — the archive layer is additive.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.bounds import MODE_PTW_REL, Abs, as_bound
+from repro.compressors.base import CompressorResult
+from repro.core.aesz import output_dtype_and_bound
+from repro.encoding.container import Archive, is_archive
+from repro.encoding.lossless import get_backend
+from repro.metrics.error import max_abs_error, psnr
+from repro.registry import compressor_spec, get_compressor, name_for_compressor
+from repro.utils.validation import value_range
+
+_MASK_BACKEND = "zlib"
+
+
+# ---------------------------------------------------------------------------
+# Output-dtype restoration (bound-safe, same analysis AESZCompressor uses)
+# ---------------------------------------------------------------------------
+
+def _cast_plan(data: np.ndarray, eff_rel: float, spec) -> tuple:
+    """Decide whether decompress may cast back to the input dtype.
+
+    Returns ``(rel_bound_for_codec, out_dtype_str_or_None)``.  When the input
+    is a float narrower than float64 and the cast's worst-case rounding is
+    small against the absolute bound, the bound handed to the codec is
+    tightened by that rounding (so the user's bound still holds after the
+    cast) and the dtype is recorded for decompress; otherwise reconstructions
+    stay float64, which always honours the bound.
+    """
+    in_dtype = data.dtype
+    if (not spec.error_bounded or not np.issubdtype(in_dtype, np.floating)
+            or in_dtype.itemsize >= 8):
+        return eff_rel, None
+    data64 = np.asarray(data, dtype=np.float64)
+    vr = value_range(data64)
+    abs_eb = eff_rel * vr if vr > 0 else eff_rel
+    out_dtype, abs_tight = output_dtype_and_bound(data64, abs_eb, in_dtype)
+    if out_dtype.itemsize >= 8:
+        return eff_rel, None
+    return (abs_tight / vr if vr > 0 else abs_tight), str(out_dtype)
+
+
+def _ptw_cast_plan(data: np.ndarray, eps: float, spec) -> tuple:
+    """Pointwise-relative version of :func:`_cast_plan`.
+
+    Casting to a narrower float adds up to half an ulp of *relative* error for
+    values in the dtype's normal range, so ``eps`` is tightened to
+    ``(eps - u) / (1 + u)`` and the cast is allowed only when every possible
+    reconstruction magnitude stays normal (no overflow, no subnormals — where
+    the relative cast error is unbounded).
+    """
+    in_dtype = data.dtype
+    if (not spec.error_bounded or not np.issubdtype(in_dtype, np.floating)
+            or in_dtype.itemsize >= 8):
+        return eps, None
+    info = np.finfo(in_dtype)
+    half_ulp = float(info.eps) / 2.0
+    if eps <= 8.0 * half_ulp:
+        return eps, None
+    magnitude = np.abs(np.asarray(data, dtype=np.float64))
+    nonzero = magnitude[magnitude > 0]
+    if nonzero.size == 0:  # all zeros reconstruct exactly via the mask
+        return eps, str(in_dtype)
+    if (float(nonzero.max()) * (1 + eps) > float(info.max)
+            or float(nonzero.min()) / (1 + eps) < float(info.tiny)):
+        return eps, None
+    return (eps - half_ulp) / (1 + half_ulp), str(in_dtype)
+
+
+# ---------------------------------------------------------------------------
+# Pointwise-relative transform
+# ---------------------------------------------------------------------------
+
+def _ptw_forward(data: np.ndarray, eps: float):
+    """Sign + log transform turning a pointwise-relative bound into an absolute one.
+
+    For nonzero ``d``: compressing ``t = log |d|`` under ``|t - t'| <= log(1+eps)``
+    gives ``|d'/d - 1| <= eps`` on both sides (the lower side is even tighter:
+    ``1 - 1/(1+eps)``).  Zeros demand exact reconstruction (``eps * 0 = 0``), so
+    they travel in a lossless bitmask; signs likewise.
+    """
+    flat = np.ascontiguousarray(data, dtype=np.float64).ravel()
+    zeros = flat == 0.0
+    signs = flat < 0.0
+    magnitude = np.abs(flat)
+    if zeros.all():
+        magnitude = np.ones_like(magnitude)
+    elif zeros.any():
+        magnitude[zeros] = magnitude[~zeros].min()
+    log_data = np.log(magnitude).reshape(data.shape)
+    log_bound = float(np.log1p(eps))
+
+    backend = get_backend(_MASK_BACKEND)
+    extra = {}
+    if zeros.any():
+        extra["ptw_zeros"] = backend.compress(np.packbits(zeros).tobytes())
+    if signs.any():
+        extra["ptw_signs"] = backend.compress(np.packbits(signs).tobytes())
+    return log_data, log_bound, extra
+
+
+def _ptw_inverse(log_recon: np.ndarray, archive: Archive) -> np.ndarray:
+    flat = np.exp(np.asarray(log_recon, dtype=np.float64)).ravel()
+    backend = get_backend(_MASK_BACKEND)
+    n = flat.size
+    if "ptw_signs" in archive.extra:
+        signs = np.unpackbits(
+            np.frombuffer(backend.decompress(archive.extra["ptw_signs"]), dtype=np.uint8),
+            count=n).astype(bool)
+        flat[signs] *= -1.0
+    if "ptw_zeros" in archive.extra:
+        zeros = np.unpackbits(
+            np.frombuffer(backend.decompress(archive.extra["ptw_zeros"]), dtype=np.uint8),
+            count=n).astype(bool)
+        flat[zeros] = 0.0
+    return flat.reshape(log_recon.shape)
+
+
+# ---------------------------------------------------------------------------
+# Facade
+# ---------------------------------------------------------------------------
+
+def _resolve_codec(codec, codec_options: Optional[dict]):
+    """Accept a registry name or a ready compressor instance."""
+    if isinstance(codec, str):
+        comp = get_compressor(codec, **(codec_options or {}))
+        return compressor_spec(codec).name, comp
+    if codec_options:
+        raise ValueError("codec_options only apply when codec is given by name")
+    if not (hasattr(codec, "compress") and hasattr(codec, "decompress")):
+        raise TypeError(f"codec must be a registry name or a compressor, got {type(codec)!r}")
+    return name_for_compressor(codec), codec
+
+
+def compress(data, codec="sz21", bound=1e-3, *, codec_options: Optional[dict] = None,
+             embed_model: bool = True) -> bytes:
+    """Compress ``data`` into a self-describing archive.
+
+    Parameters
+    ----------
+    data:
+        The array to compress.
+    codec:
+        A registry name (see :func:`repro.available_compressors`) or a ready
+        compressor instance (required for model-backed codecs like ``aesz``
+        unless ``codec_options`` carries the model).
+    bound:
+        An :class:`ErrorBound` (``Rel`` / ``Abs`` / ``PtwRel``) or a bare
+        number, interpreted as the paper's value-range-relative mode.
+    codec_options:
+        Keyword arguments forwarded to the registry factory when ``codec`` is
+        a name.
+    embed_model:
+        For model-backed codecs: store the model weights in the archive so
+        ``repro.decompress(blob)`` needs no side channel at all.  Turn off to
+        keep archives small when the model is archived separately (the header
+        still records the model fingerprint, and decompression verifies it).
+    """
+    data = np.asarray(data)
+    name, comp = _resolve_codec(codec, codec_options)
+    spec = compressor_spec(name)
+    bound = as_bound(bound)
+
+    extra = {}
+    if bound.mode == MODE_PTW_REL:
+        if not spec.error_bounded:
+            raise ValueError(
+                f"codec {name!r} is not error bounded and cannot honour a "
+                f"pointwise-relative bound"
+            )
+        eps, out_dtype = _ptw_cast_plan(data, bound.value, spec)
+        log_data, log_bound, extra = _ptw_forward(data, eps)
+        payload = comp.compress(log_data, Abs(log_bound).rel_equivalent(log_data))
+    elif getattr(comp, "manages_output_dtype", False):
+        # The codec runs the tighten-then-cast analysis itself (AE-SZ);
+        # planning here too would subtract the cast margin twice.
+        out_dtype = None
+        payload = comp.compress(data, bound.rel_equivalent(data))
+    else:
+        eff_rel, out_dtype = _cast_plan(data, bound.rel_equivalent(data), spec)
+        payload = comp.compress(data, eff_rel)
+
+    meta, blobs = comp.archive_state(embed_model=embed_model)
+    if "facade" in meta:
+        raise ValueError("codec archive metadata collides with the reserved 'facade' key")
+    if out_dtype is not None:
+        meta = {**meta, "facade": {"output_dtype": out_dtype}}
+    overlap = set(blobs) & set(extra)
+    if overlap:
+        raise ValueError(f"codec archive sections collide with reserved names: {overlap}")
+    extra.update(blobs)
+    archive = Archive(
+        codec=name,
+        shape=tuple(int(s) for s in data.shape),
+        dtype=str(data.dtype),
+        bound_mode=bound.mode,
+        bound_value=bound.value,
+        payload=payload,
+        meta=meta,
+        extra=extra,
+    )
+    return archive.to_bytes()
+
+
+def read_header(blob: bytes) -> Archive:
+    """Parse an archive's framed header without decompressing the payload.
+
+    The returned :class:`Archive` still carries the raw payload bytes; this is
+    the inspection entry point (``python -m repro list`` / ``info`` use it).
+    """
+    return Archive.from_bytes(blob)
+
+
+def decompress(blob: bytes, *, model=None, autoencoder=None,
+               codec_options: Optional[dict] = None) -> np.ndarray:
+    """Reconstruct the array from an archive produced by :func:`compress`.
+
+    No dims/dtype/codec arguments are needed — the archive header carries them.
+    ``model`` (an ``.npz`` path) or ``autoencoder`` (a live instance) are only
+    needed for AE-based archives written with ``embed_model=False``; when the
+    archive embeds or fingerprints a model, a mismatched ``model``/
+    ``autoencoder`` is refused with a clear error.
+
+    Narrow float inputs (float32/float16) come back in their own dtype
+    whenever :func:`compress` could prove the cast preserves the requested
+    bound (it tightens the codec's bound by the worst-case cast rounding);
+    otherwise the reconstruction is float64, which always honours the bound.
+    """
+    if isinstance(blob, (bytearray, memoryview)):
+        blob = bytes(blob)
+    if not isinstance(blob, bytes):
+        raise TypeError(f"blob must be bytes, got {type(blob)!r}")
+    if not is_archive(blob):
+        if blob[:4] == b"RPRC":
+            raise ValueError(
+                "this is a raw codec payload (no archive header); decode it with the "
+                "producing compressor's .decompress(), or re-compress via repro.compress()"
+            )
+        raise ValueError("corrupt archive: bad magic (not a repro archive)")
+    archive = Archive.from_bytes(blob)
+    spec = compressor_spec(archive.codec)
+
+    opts = dict(codec_options or {})
+    if model is not None or autoencoder is not None:
+        if not spec.accepts_model:
+            raise ValueError(f"codec {spec.name!r} does not take a model")
+        if model is not None:
+            opts["model"] = model
+        if autoencoder is not None:
+            opts["autoencoder"] = autoencoder
+    comp = spec.restore(archive.meta, archive.extra, **opts)
+
+    recon = comp.decompress(archive.payload)
+    if archive.bound_mode == MODE_PTW_REL:
+        recon = _ptw_inverse(recon, archive)
+    if tuple(recon.shape) != archive.shape:
+        raise ValueError(
+            f"corrupt archive: payload decoded to shape {tuple(recon.shape)}, "
+            f"header says {archive.shape}"
+        )
+    facade = archive.meta.get("facade", {})
+    out_dtype = facade.get("output_dtype") if isinstance(facade, dict) else None
+    if out_dtype is not None:
+        # Recorded only when compress tightened the codec's bound by the
+        # worst-case cast rounding, so this cast cannot break the bound.
+        recon = recon.astype(np.dtype(out_dtype), copy=False)
+    return recon
+
+
+def roundtrip(data, codec="sz21", bound=1e-3, *, codec_options: Optional[dict] = None,
+              embed_model: bool = True) -> CompressorResult:
+    """Compress + decompress through the archive layer and collect metrics."""
+    data = np.asarray(data)
+    bound = as_bound(bound)
+    blob = compress(data, codec=codec, bound=bound, codec_options=codec_options,
+                    embed_model=embed_model)
+    recon = decompress(blob)
+    name = codec if isinstance(codec, str) else name_for_compressor(codec)
+    return CompressorResult(
+        compressor=compressor_spec(name).name,  # canonical registry id
+        rel_error_bound=bound.value,
+        compressed_bytes=len(blob),
+        original_bytes=int(data.size * data.dtype.itemsize),
+        psnr=psnr(data, recon),
+        max_abs_error=max_abs_error(data, recon),
+        reconstructed=recon,
+        n_points=int(data.size),
+        original_dtype=str(data.dtype),
+    )
+
+
+__all__ = ["compress", "decompress", "roundtrip", "read_header"]

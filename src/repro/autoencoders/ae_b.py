@@ -97,6 +97,8 @@ class ResidualConvAutoencoder(BlockAutoencoder):
         super().__init__(encoder, decoder, config)
         self.latent_channels = int(latent_channels)
         self.n_compression = int(n_compression)
+        self.n_residual = int(n_residual)
+        self.conv_channels = int(channels)
 
     # The latent is a feature map; flatten it for storage.
     def encode(self, blocks: np.ndarray) -> np.ndarray:

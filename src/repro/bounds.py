@@ -1,0 +1,116 @@
+"""Error-bound objects shared by the top-level API, the CLI and the archive format.
+
+The paper evaluates compressors under a *value-range-relative* bound
+(``e = eps * (max(D) - min(D))``, Section V-A5).  Production SZ/ZFP-style tools
+additionally expose an *absolute* bound and a *pointwise-relative* bound
+(``|d_i - d'_i| <= eps * |d_i|``); :class:`ErrorBound` models all three so they
+can be threaded through every compressor and recorded in the archive header.
+
+Construct bounds with the :func:`Rel`, :func:`Abs` and :func:`PtwRel` helpers::
+
+    repro.compress(data, codec="sz21", bound=Rel(1e-3))     # paper's mode
+    repro.compress(data, codec="sz21", bound=Abs(0.02))
+    repro.compress(data, codec="aesz", bound=PtwRel(1e-2))
+
+Every compressor natively enforces a value-range-relative bound; ``Abs`` is
+rescaled exactly against the input's value range, and ``PtwRel`` is realized
+with the standard sign + logarithm transform (compressing ``log |d|`` under an
+absolute bound of ``log(1 + eps)`` bounds the pointwise relative error by
+``eps``; zeros are carried in a lossless mask so ``d_i = 0`` reconstructs
+exactly).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.validation import value_range
+
+MODE_REL = "rel"
+MODE_ABS = "abs"
+MODE_PTW_REL = "ptw_rel"
+MODES = (MODE_REL, MODE_ABS, MODE_PTW_REL)
+
+_MODE_DESCRIPTIONS = {
+    MODE_REL: "value-range-relative: |d - d'| <= value * (max(D) - min(D))",
+    MODE_ABS: "absolute: |d - d'| <= value",
+    MODE_PTW_REL: "pointwise-relative: |d - d'| <= value * |d|",
+}
+
+
+@dataclass(frozen=True)
+class ErrorBound:
+    """An error-bound mode (``rel`` / ``abs`` / ``ptw_rel``) plus its value."""
+
+    mode: str
+    value: float
+
+    def __post_init__(self) -> None:
+        if self.mode not in MODES:
+            raise ValueError(f"unknown error-bound mode {self.mode!r}; choices: {MODES}")
+        if not (float(self.value) > 0):
+            raise ValueError(f"error-bound value must be > 0, got {self.value!r}")
+        object.__setattr__(self, "value", float(self.value))
+
+    # ------------------------------------------------------------------ info
+    @property
+    def description(self) -> str:
+        return _MODE_DESCRIPTIONS[self.mode]
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.mode}({self.value:g})"
+
+    # ------------------------------------------------------------ conversion
+    def rel_equivalent(self, data: np.ndarray) -> float:
+        """The value-range-relative bound that enforces this bound on ``data``.
+
+        Every compressor in the library converts its ``rel_error_bound``
+        argument to an absolute bound as ``rel * vrange`` (falling back to the
+        raw value on constant fields), so the conversion here is exact by
+        construction.  ``ptw_rel`` bounds have no single relative equivalent;
+        they are handled by the log-transform wrapper in :mod:`repro.api`.
+        """
+        if self.mode == MODE_REL:
+            return self.value
+        if self.mode == MODE_ABS:
+            vr = value_range(data)
+            return self.value / vr if vr > 0 else self.value
+        raise ValueError(
+            "a pointwise-relative bound has no value-range-relative equivalent; "
+            "use repro.compress(), which applies the logarithmic transform"
+        )
+
+    def to_dict(self) -> dict:
+        return {"mode": self.mode, "value": self.value}
+
+    @classmethod
+    def from_dict(cls, obj: dict) -> "ErrorBound":
+        return cls(mode=str(obj["mode"]), value=float(obj["value"]))
+
+
+def Rel(value: float) -> ErrorBound:
+    """Value-range-relative bound (the paper's mode): ``|d-d'| <= value * vrange(D)``."""
+    return ErrorBound(MODE_REL, value)
+
+
+def Abs(value: float) -> ErrorBound:
+    """Absolute bound: ``|d-d'| <= value``."""
+    return ErrorBound(MODE_ABS, value)
+
+
+def PtwRel(value: float) -> ErrorBound:
+    """Pointwise-relative bound: ``|d-d'| <= value * |d|`` (zeros are exact)."""
+    return ErrorBound(MODE_PTW_REL, value)
+
+
+def as_bound(bound) -> ErrorBound:
+    """Coerce ``bound`` to an :class:`ErrorBound` (bare numbers mean ``Rel``)."""
+    if isinstance(bound, ErrorBound):
+        return bound
+    if isinstance(bound, (int, float, np.floating)):
+        return Rel(float(bound))
+    raise TypeError(
+        f"bound must be an ErrorBound (Rel/Abs/PtwRel) or a number, got {type(bound)!r}"
+    )

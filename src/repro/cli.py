@@ -1,23 +1,35 @@
-"""Command-line interface: train, compress, decompress and inspect.
+"""Command-line interface: train, compress, decompress, inspect and list codecs.
 
 Gives the library the same day-to-day ergonomics as the SZ/ZFP command-line
-tools, operating on raw SDRBench-style binary files::
+tools.  ``compress`` writes self-describing archives (codec id, shape, dtype,
+error-bound mode + value and codec metadata travel in a framed header), so
+``decompress`` needs no ``--dims``/``--compressor`` arguments; codecs are
+discovered through :mod:`repro.registry`, so new compressors show up in
+``--compressor`` and ``repro list`` without editing this module::
+
+    # list every registered codec
+    python -m repro list
 
     # train a model on one or more snapshots of a field
     python -m repro train --model swae.npz --dims 256 512 --block-size 32 \
         --latent-size 16 snapshot0.f32 snapshot1.f32
 
-    # compress / decompress with a value-range-relative error bound
-    python -m repro compress   --model swae.npz --dims 256 512 --error-bound 1e-2 \
-        snapshot9.f32 snapshot9.aesz
-    python -m repro decompress --model swae.npz --dims 256 512 \
-        snapshot9.aesz snapshot9.out.f32
+    # compress with a value-range-relative bound (the paper's mode) ...
+    python -m repro compress --model swae.npz --dims 256 512 --error-bound 1e-2 \
+        snapshot9.f32 snapshot9.rpra
+    # ... or an absolute / pointwise-relative bound, with any codec
+    python -m repro compress --dims 256 512 --error-bound 0.03 --bound-mode abs \
+        --compressor szinterp snapshot9.f32 snapshot9.rpra
+
+    # decompress: the archive knows its codec, dims, dtype and model hash
+    python -m repro decompress snapshot9.rpra snapshot9.out.f32 --model swae.npz
 
     # compare against the original and print ratio / PSNR / max error
     python -m repro info --dims 256 512 snapshot9.f32 snapshot9.out.f32
 
-Baseline compressors are available through ``--compressor`` (``aesz`` needs a
-trained ``--model``; ``sz21``, ``zfp``, ``szauto`` and ``szinterp`` do not).
+AE-SZ archives record the model fingerprint; pass ``--embed-model`` during
+compression to store the weights in the archive so decompression needs no
+``--model`` at all.  A mismatched ``--model`` is refused with a clear error.
 """
 
 from __future__ import annotations
@@ -25,28 +37,26 @@ from __future__ import annotations
 import argparse
 import sys
 from pathlib import Path
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 
+from repro import api
 from repro.autoencoders import AutoencoderConfig, SlicedWassersteinAutoencoder
-from repro.compressors import SZ21Compressor, SZAutoCompressor, SZInterpCompressor, ZFPCompressor
+from repro.bounds import ErrorBound, MODES
 from repro.core import AESZCompressor, AESZConfig
 from repro.data.loader import load_f32, save_f32
+from repro.encoding.container import is_archive
 from repro.metrics import compression_ratio, max_rel_error, psnr
 from repro.nn import TrainingConfig
-
-BASELINES = {
-    "sz21": SZ21Compressor,
-    "zfp": ZFPCompressor,
-    "szauto": SZAutoCompressor,
-    "szinterp": SZInterpCompressor,
-}
+from repro.registry import available_compressors, compressor_spec, get_compressor
 
 
-def _add_dims(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--dims", type=int, nargs="+", required=True,
-                        help="field dimensions, e.g. --dims 256 512 or --dims 64 64 64")
+def _add_dims(parser: argparse.ArgumentParser, required: bool = True) -> None:
+    parser.add_argument("--dims", type=int, nargs="+", required=required,
+                        help="field dimensions, e.g. --dims 256 512 or --dims 64 64 64"
+                             + ("" if required else " (archives carry their own dims;"
+                                " when given, used as a cross-check)"))
 
 
 def _ae_config_from_args(args: argparse.Namespace) -> AutoencoderConfig:
@@ -59,21 +69,30 @@ def _load_aesz(args: argparse.Namespace) -> AESZCompressor:
     config = _ae_config_from_args(args)
     model = SlicedWassersteinAutoencoder(config)
     model.load(args.model)
-    return AESZCompressor(model, AESZConfig(block_size=config.block_size))
+    return AESZCompressor(model, AESZConfig(block_size=config.block_size),
+                          model_ref=str(args.model))
 
 
 def _make_compressor(args: argparse.Namespace):
-    if args.compressor == "aesz":
+    if compressor_spec(args.compressor).requires_model:
         if not args.model:
-            raise SystemExit("--model is required for the aesz compressor")
+            raise SystemExit(f"--model is required for the {args.compressor} compressor")
         return _load_aesz(args)
-    return BASELINES[args.compressor]()
+    return get_compressor(args.compressor)
 
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro",
                                      description="AE-SZ error-bounded lossy compression")
     sub = parser.add_subparsers(dest="command", required=True)
+    # The AE-A/AE-B comparators need a training pass the CLI does not expose,
+    # so --compressor offers only the codecs it can construct (aesz builds its
+    # model from --model + the architecture flags).  `repro list` shows all.
+    codec_names = [n for n in available_compressors()
+                   if n == "aesz" or not compressor_spec(n).accepts_model]
+
+    # ------------------------------------------------------------------- list
+    sub.add_parser("list", help="list every registered compressor")
 
     # ------------------------------------------------------------------ train
     train = sub.add_parser("train", help="train an AE-SZ autoencoder on snapshots")
@@ -90,26 +109,34 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--seed", type=int, default=0)
 
     # --------------------------------------------------------------- compress
-    comp = sub.add_parser("compress", help="compress a raw float32 field")
+    comp = sub.add_parser("compress", help="compress a raw float32 field into an archive")
     _add_dims(comp)
     comp.add_argument("input", help="raw float32 input file")
-    comp.add_argument("output", help="compressed output file")
+    comp.add_argument("output", help="compressed archive output file")
     comp.add_argument("--error-bound", type=float, required=True,
-                      help="value-range-relative error bound, e.g. 1e-2")
-    comp.add_argument("--compressor", choices=["aesz"] + sorted(BASELINES), default="aesz")
+                      help="error-bound value (interpreted per --bound-mode)")
+    comp.add_argument("--bound-mode", choices=list(MODES), default="rel",
+                      help="rel = value-range-relative (paper's mode), abs = absolute, "
+                           "ptw_rel = pointwise-relative")
+    comp.add_argument("--compressor", choices=codec_names, default="aesz")
     comp.add_argument("--model", help=".npz model (required for aesz)")
+    comp.add_argument("--embed-model", action="store_true",
+                      help="store model weights inside the archive so decompression "
+                           "needs no --model")
     comp.add_argument("--block-size", type=int, default=32)
     comp.add_argument("--latent-size", type=int, default=16)
     comp.add_argument("--channels", type=int, nargs="+", default=[4, 8])
     comp.add_argument("--seed", type=int, default=0)
 
     # ------------------------------------------------------------- decompress
-    dec = sub.add_parser("decompress", help="decompress a stream produced by 'compress'")
-    _add_dims(dec)
+    dec = sub.add_parser("decompress", help="decompress an archive produced by 'compress'")
+    _add_dims(dec, required=False)
     dec.add_argument("input", help="compressed input file")
     dec.add_argument("output", help="raw float32 output file")
-    dec.add_argument("--compressor", choices=["aesz"] + sorted(BASELINES), default="aesz")
-    dec.add_argument("--model", help=".npz model (required for aesz)")
+    dec.add_argument("--compressor", choices=codec_names,
+                     help="only needed for legacy raw payloads (pre-archive format, "
+                          "default aesz); for archives, a cross-check against the header")
+    dec.add_argument("--model", help=".npz model (aesz archives without an embedded model)")
     dec.add_argument("--block-size", type=int, default=32)
     dec.add_argument("--latent-size", type=int, default=16)
     dec.add_argument("--channels", type=int, nargs="+", default=[4, 8])
@@ -122,6 +149,24 @@ def build_parser() -> argparse.ArgumentParser:
     info.add_argument("reconstructed", help="raw float32 reconstructed file")
     info.add_argument("--compressed", help="optional compressed file (for the ratio)")
     return parser
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    rows = []
+    for name in available_compressors():
+        spec = compressor_spec(name)
+        rows.append((name,
+                     "yes" if spec.error_bounded else "NO",
+                     "yes" if spec.requires_model else "no",
+                     spec.description))
+    widths = [max(len(r[i]) for r in rows + [("name", "bounded", "model", "description")])
+              for i in range(4)]
+    header = ("name", "bounded", "model", "description")
+    print("  ".join(h.ljust(w) for h, w in zip(header, widths)).rstrip())
+    print("  ".join("-" * w for w in widths))
+    for row in rows:
+        print("  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip())
+    return 0
 
 
 def _cmd_train(args: argparse.Namespace) -> int:
@@ -143,20 +188,45 @@ def _cmd_train(args: argparse.Namespace) -> int:
 def _cmd_compress(args: argparse.Namespace) -> int:
     data = load_f32(args.input, args.dims).astype(np.float64)
     compressor = _make_compressor(args)
-    payload = compressor.compress(data, args.error_bound)
-    Path(args.output).write_bytes(payload)
-    print(f"{args.input}: {data.size * 4} -> {len(payload)} bytes "
-          f"(ratio {compression_ratio(data.size * 4, len(payload)):.2f}x)")
+    try:
+        bound = ErrorBound(args.bound_mode, args.error_bound)
+        blob = api.compress(data, codec=compressor, bound=bound,
+                            embed_model=args.embed_model)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    Path(args.output).write_bytes(blob)
+    print(f"{args.input}: {data.size * 4} -> {len(blob)} bytes "
+          f"(ratio {compression_ratio(data.size * 4, len(blob)):.2f}x, "
+          f"bound {bound.mode}={bound.value:g}, codec {args.compressor})")
     return 0
 
 
 def _cmd_decompress(args: argparse.Namespace) -> int:
-    payload = Path(args.input).read_bytes()
-    compressor = _make_compressor(args)
-    reconstruction = compressor.decompress(payload)
-    expected = tuple(args.dims)
-    if tuple(reconstruction.shape) != expected:
-        raise SystemExit(f"decompressed shape {reconstruction.shape} != --dims {expected}")
+    blob = Path(args.input).read_bytes()
+    if is_archive(blob):
+        header = api.read_header(blob)
+        if args.compressor and compressor_spec(args.compressor).name != header.codec:
+            raise SystemExit(
+                f"archive was written by codec {header.codec!r}, not {args.compressor!r}")
+        if args.dims and tuple(args.dims) != header.shape:
+            raise SystemExit(f"archive shape {header.shape} != --dims {tuple(args.dims)}")
+        try:
+            reconstruction = api.decompress(blob, model=args.model)
+        except ValueError as exc:
+            raise SystemExit(str(exc))
+    else:
+        # Legacy raw payload (pre-archive format): decoded exactly as before —
+        # --compressor defaults to aesz (which needs the model + architecture
+        # flags) and --dims is required because the payload carries no shape.
+        if not args.compressor:
+            args.compressor = "aesz"
+        if not args.dims:
+            raise SystemExit("raw (pre-archive) payloads need --dims")
+        compressor = _make_compressor(args)
+        reconstruction = compressor.decompress(blob)
+        if tuple(reconstruction.shape) != tuple(args.dims):
+            raise SystemExit(
+                f"decompressed shape {reconstruction.shape} != --dims {tuple(args.dims)}")
     save_f32(args.output, reconstruction)
     print(f"{args.input}: reconstructed field written to {args.output}")
     return 0
@@ -168,15 +238,19 @@ def _cmd_info(args: argparse.Namespace) -> int:
     print(f"PSNR            : {psnr(original, reconstructed):.2f} dB")
     print(f"max error/range : {max_rel_error(original, reconstructed):.3e}")
     if args.compressed:
-        nbytes = Path(args.compressed).stat().st_size
-        print(f"compression     : {compression_ratio(original.size * 4, nbytes):.2f}x "
-              f"({nbytes} bytes)")
+        blob = Path(args.compressed).read_bytes()
+        if is_archive(blob):
+            header = api.read_header(blob)
+            print(f"archive         : codec {header.codec}, shape {header.shape}, "
+                  f"dtype {header.dtype}, bound {header.bound_mode}={header.bound_value:g}")
+        print(f"compression     : {compression_ratio(original.size * 4, len(blob)):.2f}x "
+              f"({len(blob)} bytes)")
     return 0
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    handlers = {"train": _cmd_train, "compress": _cmd_compress,
+    handlers = {"list": _cmd_list, "train": _cmd_train, "compress": _cmd_compress,
                 "decompress": _cmd_decompress, "info": _cmd_info}
     return handlers[args.command](args)
 

@@ -10,7 +10,7 @@ reimplementation, making AE-A error bounded end to end.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -18,10 +18,18 @@ from repro.autoencoders.ae_a import FullyConnectedAutoencoder
 from repro.compressors.base import Compressor
 from repro.compressors.sz21 import SZ21Compressor
 from repro.encoding.container import ByteContainer
+from repro.nn.serialization import (
+    dump_model_blob,
+    fingerprint_with_norm,
+    restore_archived_model,
+)
 from repro.nn.training import Trainer, TrainingConfig
+from repro.registry import register_compressor
 from repro.utils.validation import ensure_float_array, ensure_positive
 
 
+@register_compressor("ae_a", aliases=("ae-a", "aea"), accepts_model=True,
+                     description="AE-A comparator: fully-connected AE + SZ2.1 residuals")
 class AEACompressor(Compressor):
     """Fully-connected AE + SZ2.1-compressed residuals."""
 
@@ -50,6 +58,26 @@ class AEACompressor(Compressor):
         self.autoencoder.fit_normalization(all_segments)
         trainer = Trainer(self.autoencoder, config=training or TrainingConfig())
         return trainer.fit(all_segments[:, None, :])
+
+    # ------------------------------------------------------- archive support
+    def archive_state(self, embed_model: bool = True) -> Tuple[dict, Dict[str, bytes]]:
+        ae = self.autoencoder
+        meta = {
+            "model_sha256": fingerprint_with_norm(ae),
+            "ae_init": {"segment_length": ae.segment_length, "reduction": ae.reduction,
+                        "n_layers": ae.n_layers, "seed": ae.config.seed},
+        }
+        blobs = {"model": dump_model_blob(ae)} if embed_model else {}
+        return meta, blobs
+
+    @classmethod
+    def from_archive_state(cls, meta: dict, blobs: Dict[str, bytes],
+                           autoencoder: Optional[FullyConnectedAutoencoder] = None,
+                           model=None, **opts) -> "AEACompressor":
+        autoencoder = restore_archived_model(
+            lambda: FullyConnectedAutoencoder(**meta["ae_init"]), meta, blobs,
+            autoencoder=autoencoder, model=model, codec_label="AE-A")
+        return cls(autoencoder=autoencoder, **opts)
 
     # ------------------------------------------------------------------ pieces
     def _segment(self, data: np.ndarray) -> np.ndarray:

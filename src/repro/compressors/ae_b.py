@@ -8,7 +8,7 @@ compatibility but ignored (exactly the limitation the paper points out).
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -16,10 +16,18 @@ from repro.autoencoders.ae_b import ResidualConvAutoencoder
 from repro.compressors.base import Compressor
 from repro.core.blocking import BlockGrid, reassemble_blocks, split_into_blocks
 from repro.encoding.container import ByteContainer
+from repro.nn.serialization import (
+    dump_model_blob,
+    fingerprint_with_norm,
+    restore_archived_model,
+)
 from repro.nn.training import Trainer, TrainingConfig
+from repro.registry import register_compressor
 from repro.utils.validation import ensure_float_array
 
 
+@register_compressor("ae_b", aliases=("ae-b", "aeb"), error_bounded=False, accepts_model=True,
+                     description="AE-B comparator: fixed-ratio conv AE (NOT error bounded)")
 class AEBCompressor(Compressor):
     """Fixed-ratio, non-error-bounded convolutional AE compressor."""
 
@@ -52,6 +60,28 @@ class AEBCompressor(Compressor):
     @property
     def fixed_compression_ratio(self) -> float:
         return self.autoencoder.fixed_compression_ratio
+
+    # ------------------------------------------------------- archive support
+    def archive_state(self, embed_model: bool = True) -> Tuple[dict, Dict[str, bytes]]:
+        ae = self.autoencoder
+        meta = {
+            "model_sha256": fingerprint_with_norm(ae),
+            "ae_init": {"block_size": ae.config.block_size, "ndim": ae.config.ndim,
+                        "channels": ae.conv_channels, "latent_channels": ae.latent_channels,
+                        "n_residual": ae.n_residual, "n_compression": ae.n_compression,
+                        "seed": ae.config.seed},
+        }
+        blobs = {"model": dump_model_blob(ae)} if embed_model else {}
+        return meta, blobs
+
+    @classmethod
+    def from_archive_state(cls, meta: dict, blobs: Dict[str, bytes],
+                           autoencoder: Optional[ResidualConvAutoencoder] = None,
+                           model=None, **opts) -> "AEBCompressor":
+        autoencoder = restore_archived_model(
+            lambda: ResidualConvAutoencoder(**meta["ae_init"]), meta, blobs,
+            autoencoder=autoencoder, model=model, codec_label="AE-B")
+        return cls(autoencoder=autoencoder, **opts)
 
     def compress(self, data: np.ndarray, rel_error_bound: float = 0.0) -> bytes:
         data = ensure_float_array(data, "data")

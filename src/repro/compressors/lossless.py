@@ -7,16 +7,23 @@ import numpy as np
 from repro.compressors.base import Compressor
 from repro.encoding.container import ByteContainer
 from repro.encoding.lossless import get_backend
+from repro.registry import register_compressor
 from repro.utils.validation import ensure_float_array
 
 
+@register_compressor("lossless", aliases=("zlib",),
+                     description="lossless dictionary coding of the raw bytes (exact)")
 class LosslessCompressor(Compressor):
     """Dictionary-code the raw float bytes; reconstruction is exact."""
 
     name = "lossless"
 
     def __init__(self, backend: str = "zlib"):
+        self.backend = str(backend)
         self._backend = get_backend(backend)
+
+    def archive_options(self) -> dict:
+        return {"backend": self.backend}
 
     def compress(self, data: np.ndarray, rel_error_bound: float = 0.0) -> bytes:
         data = np.asarray(data)

@@ -27,6 +27,7 @@ from repro.encoding.lossless import get_backend
 from repro.predictors.lorenzo import lorenzo_predict
 from repro.predictors.regression import LinearRegressionPredictor
 from repro.quantization.linear import UNPREDICTABLE_CODE
+from repro.registry import register_compressor
 from repro.utils.validation import ensure_float_array, ensure_positive, value_range
 
 FLAG_LORENZO = 0
@@ -112,6 +113,8 @@ def _sequential_lorenzo_decode(codes: np.ndarray, unpred: np.ndarray, error_boun
     return recon
 
 
+@register_compressor("sz21", aliases=("sz2.1", "sz"),
+                     description="SZ2.1-style blockwise Lorenzo + regression predictor")
 class SZ21Compressor(Compressor):
     """Blockwise Lorenzo + linear-regression compressor in the SZ2.1 style."""
 
@@ -122,9 +125,14 @@ class SZ21Compressor(Compressor):
         self.block_size_2d = int(block_size_2d)
         self.block_size_3d = int(block_size_3d)
         self.num_bins = int(num_bins)
+        self.lossless_backend = str(lossless_backend)
         self._entropy = EntropyCodec(backend=get_backend(lossless_backend))
         self._backend = get_backend(lossless_backend)
         self._regression = LinearRegressionPredictor()
+
+    def archive_options(self) -> dict:
+        return {"block_size_2d": self.block_size_2d, "block_size_3d": self.block_size_3d,
+                "num_bins": self.num_bins, "lossless_backend": self.lossless_backend}
 
     def _block_size(self, ndim: int) -> int:
         if ndim >= 3:

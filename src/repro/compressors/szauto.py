@@ -29,6 +29,7 @@ from repro.predictors.lorenzo import (
     second_order_lorenzo_transform,
 )
 from repro.quantization.uniform import UniformQuantizer
+from repro.registry import register_compressor
 from repro.utils.validation import ensure_float_array, ensure_positive, value_range
 
 
@@ -41,6 +42,8 @@ def _code_entropy(codes: np.ndarray) -> float:
     return float(-(p * np.log2(p)).sum())
 
 
+@register_compressor("szauto",
+                     description="SZauto-style dual-quantization Lorenzo with auto order tuning")
 class SZAutoCompressor(Compressor):
     """Dual-quantization Lorenzo compressor with automatic predictor-order tuning."""
 
@@ -49,8 +52,12 @@ class SZAutoCompressor(Compressor):
     def __init__(self, lossless_backend: str = "zlib", sample_fraction: float = 0.05):
         if not (0 < sample_fraction <= 1):
             raise ValueError("sample_fraction must be in (0, 1]")
+        self.lossless_backend = str(lossless_backend)
         self._entropy = EntropyCodec(backend=get_backend(lossless_backend))
         self.sample_fraction = float(sample_fraction)
+
+    def archive_options(self) -> dict:
+        return {"lossless_backend": self.lossless_backend}
 
     def compress(self, data: np.ndarray, rel_error_bound: float) -> bytes:
         ensure_positive(rel_error_bound, "rel_error_bound")

@@ -19,9 +19,12 @@ from repro.predictors.interpolation import (
     multilevel_interpolation_decode,
     multilevel_interpolation_encode,
 )
+from repro.registry import register_compressor
 from repro.utils.validation import ensure_float_array, ensure_positive, value_range
 
 
+@register_compressor("szinterp", aliases=("sz3",),
+                     description="SZinterp-style multi-level spline interpolation compressor")
 class SZInterpCompressor(Compressor):
     """Multi-level cubic-spline interpolation compressor."""
 
@@ -29,8 +32,12 @@ class SZInterpCompressor(Compressor):
 
     def __init__(self, num_bins: int = 65536, lossless_backend: str = "zlib"):
         self.num_bins = int(num_bins)
+        self.lossless_backend = str(lossless_backend)
         self._entropy = EntropyCodec(backend=get_backend(lossless_backend))
         self._backend = get_backend(lossless_backend)
+
+    def archive_options(self) -> dict:
+        return {"num_bins": self.num_bins, "lossless_backend": self.lossless_backend}
 
     def compress(self, data: np.ndarray, rel_error_bound: float) -> bytes:
         ensure_positive(rel_error_bound, "rel_error_bound")

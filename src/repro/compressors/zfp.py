@@ -30,6 +30,7 @@ from repro.core.blocking import BlockGrid, reassemble_blocks, split_into_blocks
 from repro.encoding.container import ByteContainer
 from repro.encoding.entropy import EntropyCodec
 from repro.encoding.lossless import get_backend
+from repro.registry import register_compressor
 from repro.utils.validation import ensure_float_array, ensure_positive, value_range
 
 BLOCK_EDGE = 4
@@ -71,14 +72,19 @@ def _inverse_transform(coeffs: np.ndarray) -> np.ndarray:
     return out
 
 
+@register_compressor("zfp", description="ZFP-style fixed-accuracy blockwise transform coder")
 class ZFPCompressor(Compressor):
     """Fixed-accuracy transform coder over 4^d blocks."""
 
     name = "ZFP"
 
     def __init__(self, lossless_backend: str = "zlib"):
+        self.lossless_backend = str(lossless_backend)
         self._entropy = EntropyCodec(backend=get_backend(lossless_backend))
         self._backend = get_backend(lossless_backend)
+
+    def archive_options(self) -> dict:
+        return {"lossless_backend": self.lossless_backend}
 
     def compress(self, data: np.ndarray, rel_error_bound: float) -> bytes:
         ensure_positive(rel_error_bound, "rel_error_bound")

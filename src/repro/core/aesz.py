@@ -17,23 +17,32 @@ user-specified error bound holds for every point.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.autoencoders.base import BlockAutoencoder
+from repro.autoencoders.config import AutoencoderConfig
+from repro.autoencoders.factory import AE_REGISTRY, create_autoencoder
+from repro.compressors.base import Compressor
 from repro.core.blocking import BlockGrid, reassemble_blocks, split_into_blocks
 from repro.core.config import AESZConfig
 from repro.core.latent_codec import LatentCodec
 from repro.encoding.container import ByteContainer
 from repro.encoding.entropy import EntropyCodec
 from repro.encoding.lossless import get_backend
+from repro.nn.serialization import (
+    dump_model_blob,
+    fingerprint_with_norm,
+    restore_archived_model,
+)
 from repro.nn.training import Trainer, TrainingConfig
 from repro.quantization.linear import (
     dequantize_prediction_errors,
     quantize_prediction_errors,
 )
+from repro.registry import register_compressor
 from repro.utils.validation import ensure_float_array, ensure_positive, value_range
 
 # Per-block predictor flags stored in the stream.
@@ -74,7 +83,7 @@ class CompressionStats:
         return self.original_bytes / self.compressed_bytes
 
 
-def _output_dtype_and_bound(data: np.ndarray, abs_eb: float,
+def output_dtype_and_bound(data: np.ndarray, abs_eb: float,
                             dtype: np.dtype) -> Tuple[np.dtype, float]:
     """Decide the reconstruction dtype and the internal quantization bound.
 
@@ -135,7 +144,7 @@ def _batched_lorenzo_inverse(diffs: np.ndarray) -> np.ndarray:
     return out
 
 
-class AESZCompressor:
+class AESZCompressor(Compressor):
     """Autoencoder-based error-bounded lossy compressor.
 
     Parameters
@@ -143,14 +152,20 @@ class AESZCompressor:
     autoencoder:
         A trained :class:`repro.autoencoders.base.BlockAutoencoder` whose block
         shape matches ``config.block_size``.  The model is *not* part of the
-        compressed stream (it is reused across snapshots, as in the paper).
+        raw compressed stream (it is reused across snapshots, as in the paper);
+        the archive layer records its fingerprint — and, optionally, the
+        weights themselves — via :meth:`archive_state`.
     config:
         Pipeline configuration; defaults follow the paper.
+    model_ref:
+        Optional human-readable reference (e.g. the ``.npz`` path the model was
+        loaded from), recorded in archive headers for diagnostics.
     """
 
     name = "AE-SZ"
 
-    def __init__(self, autoencoder: BlockAutoencoder, config: Optional[AESZConfig] = None):
+    def __init__(self, autoencoder: BlockAutoencoder, config: Optional[AESZConfig] = None,
+                 model_ref: Optional[str] = None):
         self.autoencoder = autoencoder
         self.config = config or AESZConfig(block_size=autoencoder.config.block_size)
         if self.config.block_size != autoencoder.config.block_size:
@@ -162,6 +177,66 @@ class AESZCompressor:
         self._entropy = EntropyCodec(backend=get_backend(self.config.lossless_backend))
         self._backend = get_backend(self.config.lossless_backend)
         self.last_stats: Optional[CompressionStats] = None
+        self.model_ref = model_ref
+
+    # ------------------------------------------------------- archive support
+    # The compressor casts its reconstruction back to the (bound-safe) input
+    # dtype itself, so the facade must not run its own cast plan on top.
+    manages_output_dtype = True
+
+    def model_fingerprint(self) -> str:
+        """sha256 identity of the attached model (weights + normalization)."""
+        return fingerprint_with_norm(self.autoencoder)
+
+    def archive_state(self, embed_model: bool = True) -> Tuple[dict, Dict[str, bytes]]:
+        ae = self.autoencoder
+        ae_kind = next((kind for kind, klass in AE_REGISTRY.items()
+                        if type(ae) is klass), None)
+        meta = {
+            "model_sha256": self.model_fingerprint(),
+            "model_ref": self.model_ref,
+            "ae_kind": ae_kind,
+            "ae_config": {
+                "ndim": ae.config.ndim, "block_size": ae.config.block_size,
+                "latent_size": ae.config.latent_size,
+                "channels": list(ae.config.channels),
+                "kernel_size": ae.config.kernel_size, "seed": ae.config.seed,
+            },
+            "aesz_config": asdict(self.config),
+        }
+        blobs: Dict[str, bytes] = {}
+        if embed_model:
+            if ae_kind is None:
+                raise ValueError(
+                    f"cannot embed the model: {type(ae).__name__} is not in the "
+                    f"autoencoder registry (AE_REGISTRY), so the archive could not "
+                    f"rebuild it; compress with embed_model=False and pass "
+                    f"autoencoder=... at decompression"
+                )
+            blobs["model"] = dump_model_blob(ae)
+        return meta, blobs
+
+    @classmethod
+    def from_archive_state(cls, meta: dict, blobs: Dict[str, bytes],
+                           autoencoder: Optional[BlockAutoencoder] = None,
+                           model=None, **opts) -> "AESZCompressor":
+        model_ref = meta.get("model_ref")
+
+        def build() -> BlockAutoencoder:
+            if meta.get("ae_kind") is None:
+                raise ValueError(
+                    "this AE-SZ archive does not record a rebuildable model "
+                    "architecture (the autoencoder class was not registered); "
+                    "pass autoencoder=... instead"
+                )
+            return create_autoencoder(meta["ae_kind"], AutoencoderConfig(**meta["ae_config"]))
+
+        ref = f"AE-SZ (written from {model_ref!r})" if model_ref else "AE-SZ"
+        restored = restore_archived_model(build, meta, blobs, autoencoder=autoencoder,
+                                          model=model, codec_label=ref)
+        if autoencoder is None and model is not None:
+            model_ref = str(model)
+        return cls(restored, AESZConfig(**meta["aesz_config"]), model_ref=model_ref)
 
     # ------------------------------------------------------------------ train
     def train(self, snapshots: Sequence[np.ndarray],
@@ -224,7 +299,7 @@ class AESZCompressor:
         data = data.astype(np.float64, copy=False)
         vrange = value_range(data)
         abs_eb = rel_error_bound * vrange if vrange > 0 else rel_error_bound
-        out_dtype, abs_eb = _output_dtype_and_bound(data, abs_eb, in_dtype)
+        out_dtype, abs_eb = output_dtype_and_bound(data, abs_eb, in_dtype)
 
         blocks, grid = split_into_blocks(data, self.config.block_size)
         n_blocks = blocks.shape[0]
@@ -321,7 +396,7 @@ class AESZCompressor:
             "predictor_mode": mode,
             "dtype": str(in_dtype),
             # Written only by compressors that ran the bound-safety analysis
-            # in _output_dtype_and_bound; decompress casts on this key alone,
+            # in output_dtype_and_bound; decompress casts on this key alone,
             # so legacy payloads (which recorded "dtype" without tightening
             # the bound) keep returning float64 as the seed decompressor did.
             "output_dtype": str(out_dtype),
@@ -392,3 +467,41 @@ class AESZCompressor:
 
         out = reassemble_blocks(blocks, grid)
         return out.astype(np.dtype(meta.get("output_dtype", "float64")), copy=False)
+
+
+def build_aesz(autoencoder: Optional[BlockAutoencoder] = None, model=None,
+               ae_kind: str = "swae", ae_config=None,
+               config: Optional[AESZConfig] = None, **config_opts) -> AESZCompressor:
+    """Registry factory for the ``aesz`` codec.
+
+    Accepts either a ready ``autoencoder`` instance or a saved ``model`` (.npz
+    path) plus the ``ae_config`` (dict or :class:`AutoencoderConfig`) that
+    describes its architecture — the weight file alone does not carry it.
+    """
+    model_ref = None
+    if autoencoder is None:
+        if model is None:
+            raise ValueError(
+                "the 'aesz' codec needs a trained model: pass autoencoder=<BlockAutoencoder> "
+                "or model=<path.npz> together with ae_config=..."
+            )
+        if ae_config is None:
+            raise ValueError(
+                "rebuilding 'aesz' from model=<path.npz> needs ae_config= "
+                "(an AutoencoderConfig or a dict of its fields)"
+            )
+        if isinstance(ae_config, Mapping):
+            ae_config = AutoencoderConfig(**ae_config)
+        autoencoder = create_autoencoder(ae_kind, ae_config)
+        autoencoder.load(model)
+        model_ref = str(model)
+    if config is None:
+        config = AESZConfig(block_size=autoencoder.config.block_size, **config_opts)
+    return AESZCompressor(autoencoder, config, model_ref=model_ref)
+
+
+register_compressor(
+    "aesz", build_aesz, aliases=("ae_sz", "ae-sz"), requires_model=True,
+    restorer=AESZCompressor.from_archive_state, cls=AESZCompressor,
+    description="AE-SZ: autoencoder + Lorenzo hybrid, error bounded (needs a trained model)",
+)

@@ -1,16 +1,24 @@
-"""A tiny tagged byte container used by every compressor's stream format.
+"""Byte containers: the per-codec section container and the archive envelope.
 
 Compressed outputs consist of named sections (header metadata, latent stream,
 quantization codes, unpredictable values, ...).  ``ByteContainer`` serializes a
 mapping of section name -> bytes with explicit lengths so decompression never
 guesses offsets.
+
+``Archive`` is the self-describing envelope written by :func:`repro.compress`
+around every codec's raw payload: a versioned framed header carrying the codec
+id, the original shape/dtype, the error-bound mode + value and codec-private
+metadata, so ``repro.decompress(blob)`` can reconstruct the array with no
+side-channel arguments.  Malformed archives raise ``ValueError("corrupt ...")``
+consistently with the entropy-stream convention.
 """
 
 from __future__ import annotations
 
 import json
 import struct
-from typing import Dict, Iterable, Mapping
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Mapping, Tuple
 
 import numpy as np
 
@@ -112,3 +120,157 @@ class ByteContainer:
     def nbytes(self) -> int:
         """Total serialized size in bytes."""
         return len(self.to_bytes())
+
+
+# ---------------------------------------------------------------------------
+# Self-describing archive envelope
+# ---------------------------------------------------------------------------
+
+ARCHIVE_MAGIC = b"RPRA"
+ARCHIVE_VERSION = 1
+
+_U8 = struct.Struct("<B")
+_U16 = struct.Struct("<H")
+
+# Layout (little endian):
+#   magic "RPRA" | u16 version | u32 header_len | header JSON | u64 payload_len
+#   | payload | u8 n_extra | n_extra * (u16 key_len | key | u64 len | bytes)
+# The header JSON carries {codec, shape, dtype, bound: {mode, value}, meta, crc};
+# ``extra`` holds binary side-sections (embedded model weights, pointwise-
+# relative sign/zero masks) that would bloat the JSON header.  ``crc`` records
+# a CRC-32 of the payload and of every section, so any byte flip in the body is
+# caught deterministically (zlib streams can otherwise absorb flips silently).
+
+
+def is_archive(data: bytes) -> bool:
+    """True when ``data`` starts with the archive magic (vs a raw codec payload)."""
+    return bytes(data[:4]) == ARCHIVE_MAGIC
+
+
+@dataclass
+class Archive:
+    """The parsed form of a self-describing compressed archive."""
+
+    codec: str
+    shape: Tuple[int, ...]
+    dtype: str
+    bound_mode: str
+    bound_value: float
+    payload: bytes
+    meta: dict = field(default_factory=dict)
+    extra: Dict[str, bytes] = field(default_factory=dict)
+    version: int = ARCHIVE_VERSION
+
+    @property
+    def n_points(self) -> int:
+        return int(np.prod(self.shape, dtype=np.int64)) if self.shape else 1
+
+    # ------------------------------------------------------------ serialize
+    def to_bytes(self) -> bytes:
+        import zlib
+
+        header = {
+            "codec": self.codec,
+            "shape": [int(s) for s in self.shape],
+            "dtype": str(self.dtype),
+            "bound": {"mode": self.bound_mode, "value": float(self.bound_value)},
+            "meta": self.meta,
+            "crc": {"payload": zlib.crc32(self.payload),
+                    "extra": {k: zlib.crc32(v) for k, v in self.extra.items()}},
+        }
+        header_bytes = json.dumps(header, separators=(",", ":"), sort_keys=True).encode()
+        if len(self.extra) > 255:
+            raise ValueError("archives support at most 255 extra sections")
+        out = bytearray()
+        out += ARCHIVE_MAGIC
+        out += _U16.pack(ARCHIVE_VERSION)
+        out += _LEN.pack(len(header_bytes))
+        out += header_bytes
+        out += _QLEN.pack(len(self.payload))
+        out += self.payload
+        out += _U8.pack(len(self.extra))
+        for key, value in self.extra.items():
+            kb = key.encode()
+            out += _U16.pack(len(kb))
+            out += kb
+            out += _QLEN.pack(len(value))
+            out += value
+        return bytes(out)
+
+    # -------------------------------------------------------------- parse
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "Archive":
+        data = bytes(data)
+
+        def take(pos: int, n: int, what: str) -> Tuple[bytes, int]:
+            if pos + n > len(data):
+                raise ValueError(f"corrupt archive: truncated {what}")
+            return data[pos:pos + n], pos + n
+
+        if len(data) < 4 or data[:4] != ARCHIVE_MAGIC:
+            raise ValueError("corrupt archive: bad magic (not a repro archive)")
+        raw, pos = take(4, _U16.size, "version field")
+        (version,) = _U16.unpack(raw)
+        if version != ARCHIVE_VERSION:
+            raise ValueError(
+                f"unsupported archive version {version} (this build reads "
+                f"version {ARCHIVE_VERSION})"
+            )
+        raw, pos = take(pos, _LEN.size, "header length")
+        (hlen,) = _LEN.unpack(raw)
+        raw, pos = take(pos, hlen, "header")
+        try:
+            header = json.loads(raw.decode())
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ValueError(f"corrupt archive: unreadable header ({exc})") from None
+        if not isinstance(header, dict):
+            raise ValueError("corrupt archive: header is not a JSON object")
+        try:
+            codec = str(header["codec"])
+            shape = tuple(int(s) for s in header["shape"])
+            dtype = str(header["dtype"])
+            bound = header["bound"]
+            bound_mode = str(bound["mode"])
+            bound_value = float(bound["value"])
+            meta = header.get("meta", {})
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ValueError(f"corrupt archive: malformed header ({exc})") from None
+        if not isinstance(meta, dict):
+            raise ValueError("corrupt archive: header meta is not a JSON object")
+
+        raw, pos = take(pos, _QLEN.size, "payload length")
+        (plen,) = _QLEN.unpack(raw)
+        payload, pos = take(pos, plen, "payload")
+        raw, pos = take(pos, _U8.size, "section count")
+        (n_extra,) = _U8.unpack(raw)
+        extra: Dict[str, bytes] = {}
+        for _ in range(n_extra):
+            raw, pos = take(pos, _U16.size, "section key length")
+            (klen,) = _U16.unpack(raw)
+            raw, pos = take(pos, klen, "section key")
+            try:
+                key = raw.decode()
+            except UnicodeDecodeError:
+                raise ValueError("corrupt archive: undecodable section key") from None
+            raw, pos = take(pos, _QLEN.size, "section length")
+            (vlen,) = _QLEN.unpack(raw)
+            extra[key], pos = take(pos, vlen, f"section {key!r}")
+        if pos != len(data):
+            raise ValueError(f"corrupt archive: {len(data) - pos} trailing bytes")
+
+        crc = header.get("crc")
+        if crc is not None:
+            import zlib
+
+            extra_crc = crc.get("extra", {}) if isinstance(crc, dict) else None
+            if not isinstance(crc, dict) or not isinstance(extra_crc, dict):
+                raise ValueError("corrupt archive: malformed crc field")
+            if zlib.crc32(payload) != crc.get("payload"):
+                raise ValueError("corrupt archive: payload checksum mismatch")
+            for key, value in extra.items():
+                if zlib.crc32(value) != extra_crc.get(key):
+                    raise ValueError(
+                        f"corrupt archive: section {key!r} checksum mismatch")
+        return cls(codec=codec, shape=shape, dtype=dtype, bound_mode=bound_mode,
+                   bound_value=bound_value, payload=payload, meta=meta, extra=extra,
+                   version=version)

@@ -52,7 +52,10 @@ class ZlibBackend(LosslessBackend):
         return zlib.compress(bytes(data), self.level)
 
     def decompress(self, data: bytes) -> bytes:
-        return zlib.decompress(bytes(data))
+        try:
+            return zlib.decompress(bytes(data))
+        except zlib.error as exc:
+            raise ValueError(f"corrupt stream: zlib payload undecodable ({exc})") from None
 
 
 class Bz2Backend(LosslessBackend):
@@ -69,7 +72,10 @@ class Bz2Backend(LosslessBackend):
         return bz2.compress(bytes(data), self.level)
 
     def decompress(self, data: bytes) -> bytes:
-        return bz2.decompress(bytes(data))
+        try:
+            return bz2.decompress(bytes(data))
+        except (OSError, ValueError) as exc:
+            raise ValueError(f"corrupt stream: bz2 payload undecodable ({exc})") from None
 
 
 class LzmaBackend(LosslessBackend):
@@ -86,7 +92,10 @@ class LzmaBackend(LosslessBackend):
         return lzma.compress(bytes(data), preset=self.preset)
 
     def decompress(self, data: bytes) -> bytes:
-        return lzma.decompress(bytes(data))
+        try:
+            return lzma.decompress(bytes(data))
+        except lzma.LZMAError as exc:
+            raise ValueError(f"corrupt stream: lzma payload undecodable ({exc})") from None
 
 
 _BACKENDS: Dict[str, Type[LosslessBackend]] = {

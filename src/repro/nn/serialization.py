@@ -54,3 +54,90 @@ def load_module_state(module: Module, path: PathLike, strict: bool = True) -> No
     with np.load(path) as archive:
         state = {key: archive[key] for key in archive.files}
     load_state_dict(module, state, strict=strict)
+
+
+def load_embedded_model(model, blob: bytes) -> None:
+    """Load weights from an in-archive model blob onto ``model`` (via its ``load``).
+
+    A flipped byte in the embedded ``.npz`` makes ``np.load`` fail in assorted
+    ways (zipfile/seek/struct errors); map them all to the library's
+    ``ValueError("corrupt ...")`` convention.
+    """
+    import io
+
+    try:
+        model.load(io.BytesIO(blob))
+    except Exception as exc:
+        raise ValueError(f"corrupt archive: embedded model unreadable ({exc})") from None
+
+
+def dump_model_blob(model) -> bytes:
+    """Serialize a model (via its ``save``) into the bytes an archive embeds."""
+    import io
+
+    buf = io.BytesIO()
+    model.save(buf)
+    return buf.getvalue()
+
+
+def fingerprint_with_norm(model) -> str:
+    """Model fingerprint including its normalization range (the archive identity)."""
+    return model_fingerprint(model, extra={"norm_min": model.norm_min,
+                                           "norm_max": model.norm_max})
+
+
+def check_model_fingerprint(model, expected: "str | None") -> None:
+    """Refuse a model whose fingerprint differs from the one an archive recorded."""
+    got = fingerprint_with_norm(model)
+    if expected is not None and got != expected:
+        raise ValueError(
+            f"model mismatch: archive was written with model sha256 {expected}, "
+            f"got {got}"
+        )
+
+
+def restore_archived_model(build, meta: dict, blobs: Dict[str, bytes],
+                           autoencoder=None, model=None, codec_label: str = "this"):
+    """Shared restore flow for model-backed codecs' ``from_archive_state``.
+
+    Priority: an explicit ``autoencoder`` instance, then ``model`` (a saved
+    ``.npz`` path, loaded onto a freshly ``build()``-built architecture), then
+    the archive's embedded ``model`` blob.  Whatever the source, the result is
+    fingerprint-checked against the archive before use.
+    """
+    expected = meta.get("model_sha256")
+    if autoencoder is None:
+        if model is not None:
+            autoencoder = build()
+            autoencoder.load(model)
+        elif "model" in blobs:
+            autoencoder = build()
+            load_embedded_model(autoencoder, blobs["model"])
+        else:
+            raise ValueError(
+                f"{codec_label} archive has no embedded model; pass model=<path.npz> "
+                f"or autoencoder=... (expected sha256 {expected})"
+            )
+    check_model_fingerprint(autoencoder, expected)
+    return autoencoder
+
+
+def model_fingerprint(module: Module, extra: Dict[str, float] | None = None) -> str:
+    """Deterministic sha256 over a module's parameters (plus optional scalars).
+
+    Used by the archive format: AE-based archives record the fingerprint of the
+    model they were written with, so decompression can refuse a mismatched
+    model instead of silently reconstructing garbage.  Parameters are hashed as
+    name + shape + little-endian float64 bytes, in sorted name order.
+    """
+    import hashlib
+
+    digest = hashlib.sha256()
+    for name, value in sorted(state_dict(module).items()):
+        arr = np.ascontiguousarray(value, dtype="<f8")
+        digest.update(name.encode())
+        digest.update(repr(arr.shape).encode())
+        digest.update(arr.tobytes())
+    for key, value in sorted((extra or {}).items()):
+        digest.update(f"{key}={float(value)!r}".encode())
+    return digest.hexdigest()

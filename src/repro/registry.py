@@ -1,0 +1,149 @@
+"""Compressor registry: plugin-style discovery of every codec in the library.
+
+The seven built-in compressors self-register at import time via the
+:func:`register_compressor` decorator, so the CLI, the benchmark harness and
+the top-level :mod:`repro.api` facade enumerate codecs from one place instead
+of hardcoding class lists.  Third-party codecs plug in the same way::
+
+    from repro.registry import register_compressor
+
+    @register_compressor("mycodec", description="my experimental codec")
+    class MyCompressor(Compressor):
+        ...
+
+and immediately become usable through ``repro.compress(data, codec="mycodec")``
+and ``python -m repro compress --compressor mycodec``.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional, Tuple
+
+_LOCK = threading.Lock()
+_REGISTRY: Dict[str, "CompressorSpec"] = {}
+_ALIASES: Dict[str, str] = {}
+_CLASS_TO_NAME: Dict[type, str] = {}
+_BUILTINS_LOADED = False
+
+
+@dataclass(frozen=True)
+class CompressorSpec:
+    """Everything the registry knows about one codec."""
+
+    name: str
+    factory: Callable[..., Any]
+    description: str = ""
+    aliases: Tuple[str, ...] = ()
+    error_bounded: bool = True
+    requires_model: bool = False
+    accepts_model: bool = False
+    # Rebuilds a decode-ready compressor from an archive's codec-private
+    # metadata + binary sections; defaults to ``factory.from_archive_state``
+    # when available, else ``factory(**opts)``.
+    restorer: Optional[Callable[..., Any]] = None
+
+    def restore(self, meta: dict, blobs: Dict[str, bytes], **opts) -> Any:
+        if self.restorer is not None:
+            return self.restorer(meta, blobs, **opts)
+        if hasattr(self.factory, "from_archive_state"):
+            return self.factory.from_archive_state(meta, blobs, **opts)
+        return self.factory(**opts)
+
+
+def register_compressor(name: str, factory: Optional[Callable[..., Any]] = None, *,
+                        description: str = "", aliases: Tuple[str, ...] = (),
+                        error_bounded: bool = True, requires_model: bool = False,
+                        accepts_model: bool = False,
+                        restorer: Optional[Callable[..., Any]] = None,
+                        cls: Optional[type] = None):
+    """Register a compressor factory under ``name``.
+
+    Usable as a decorator on a compressor class (``@register_compressor("zfp")``)
+    or called directly with an explicit ``factory`` callable for codecs whose
+    construction needs more than ``factory()`` (e.g. AE-SZ, which needs a
+    trained model).  ``cls`` links the registration to a compressor class when
+    the factory is a plain function, so instances can be mapped back to their
+    registry name.
+    """
+
+    def _do_register(target: Callable[..., Any]) -> Callable[..., Any]:
+        key = _normalize(name)
+        with _LOCK:
+            if key in _REGISTRY:
+                raise ValueError(f"compressor {key!r} is already registered")
+            spec = CompressorSpec(
+                name=key, factory=target, description=description,
+                aliases=tuple(dict.fromkeys(_normalize(a) for a in aliases)),
+                error_bounded=error_bounded, requires_model=requires_model,
+                accepts_model=accepts_model or requires_model, restorer=restorer,
+            )
+            _REGISTRY[key] = spec
+            for alias in spec.aliases:
+                if alias == key:
+                    continue  # alias that normalizes to the canonical name
+                if alias in _ALIASES or alias in _REGISTRY:
+                    raise ValueError(f"compressor alias {alias!r} is already taken")
+                _ALIASES[alias] = key
+            linked = cls if cls is not None else (target if isinstance(target, type) else None)
+            if linked is not None:
+                _CLASS_TO_NAME[linked] = key
+        return target
+
+    if factory is not None:
+        return _do_register(factory)
+    return _do_register
+
+
+def _normalize(name: str) -> str:
+    return str(name).strip().lower().replace("-", "_").replace(".", "")
+
+
+def _ensure_builtins() -> None:
+    """Import the modules whose import side effect registers the built-in codecs."""
+    global _BUILTINS_LOADED
+    if _BUILTINS_LOADED:
+        return
+    # No lock around the imports: Python's import machinery serializes them,
+    # and the flag is only latched once both succeed, so a failed import
+    # surfaces again (with its real error) on the next registry call.
+    import repro.compressors  # noqa: F401  (registers the seven baselines)
+    import repro.core.aesz  # noqa: F401  (registers aesz)
+    _BUILTINS_LOADED = True
+
+
+def compressor_spec(name: str) -> CompressorSpec:
+    """Resolve ``name`` (canonical id or alias, case-insensitive) to its spec."""
+    _ensure_builtins()
+    key = _normalize(name)
+    key = _ALIASES.get(key, key)
+    try:
+        return _REGISTRY[key]
+    except KeyError:
+        raise KeyError(
+            f"unknown compressor {name!r}; choices: {list(available_compressors())}"
+        ) from None
+
+
+def get_compressor(name: str, **opts) -> Any:
+    """Instantiate a registered compressor by name, forwarding ``opts``."""
+    return compressor_spec(name).factory(**opts)
+
+
+def available_compressors() -> Tuple[str, ...]:
+    """Canonical names of every registered compressor, sorted."""
+    _ensure_builtins()
+    return tuple(sorted(_REGISTRY))
+
+
+def name_for_compressor(compressor: Any) -> str:
+    """Map a compressor instance back to its registry name."""
+    _ensure_builtins()
+    for klass in type(compressor).__mro__:
+        if klass in _CLASS_TO_NAME:
+            return _CLASS_TO_NAME[klass]
+    raise KeyError(
+        f"{type(compressor).__name__} is not a registered compressor; "
+        "register it with repro.registry.register_compressor"
+    )

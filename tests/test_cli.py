@@ -31,6 +31,16 @@ def workdir(tmp_path_factory):
 COMMON_MODEL_ARGS = ["--block-size", "8", "--latent-size", "4", "--channels", "2", "4"]
 
 
+class TestList:
+    def test_list_prints_registry(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("aesz", "sz21", "zfp", "szauto", "szinterp", "ae_a", "ae_b",
+                     "lossless"):
+            assert name in out
+        assert "NO" in out  # ae_b is flagged as not error bounded
+
+
 class TestParser:
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
@@ -48,6 +58,13 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["compress", "--dims", "8", "8", "a", "b",
                                        "--error-bound", "1e-2", "--compressor", "nope"])
+
+    @pytest.mark.parametrize("name", ["ae_a", "ae_b"])
+    def test_untrainable_comparators_not_offered(self, name):
+        """AE-A/AE-B need a training pass the CLI does not expose."""
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["compress", "--dims", "8", "8", "a", "b",
+                                       "--error-bound", "1e-2", "--compressor", name])
 
 
 class TestEndToEnd:
@@ -111,3 +128,98 @@ class TestEndToEnd:
         with pytest.raises(SystemExit):
             main(["decompress", "--dims", "10", "10", "--compressor", "sz21",
                   str(compressed), str(workdir["root"] / "bad.f32")])
+
+    def test_decompress_is_self_describing(self, workdir):
+        """Archives carry codec + dims + dtype: decompress takes only the paths."""
+        dims = self._dims(workdir)
+        compressed = workdir["root"] / "selfdesc.rpra"
+        restored = workdir["root"] / "selfdesc.f32"
+        assert main(["compress", "--dims", *dims, "--error-bound", "1e-3",
+                     "--compressor", "szinterp", str(workdir["test"]),
+                     str(compressed)]) == 0
+        assert main(["decompress", str(compressed), str(restored)]) == 0
+        original = load_f32(workdir["test"], workdir["shape"]).astype(np.float64)
+        reconstructed = load_f32(restored, workdir["shape"]).astype(np.float64)
+        assert verify_error_bound(original, reconstructed, 1.05e-3) is None
+
+    def test_decompress_wrong_codec_flag_fails(self, workdir):
+        dims = self._dims(workdir)
+        compressed = workdir["root"] / "codeccheck.rpra"
+        main(["compress", "--dims", *dims, "--error-bound", "1e-2",
+              "--compressor", "sz21", str(workdir["test"]), str(compressed)])
+        with pytest.raises(SystemExit):
+            main(["decompress", "--compressor", "zfp", str(compressed),
+                  str(workdir["root"] / "bad.f32")])
+
+    def test_invalid_bound_value_is_clean_error(self, workdir):
+        dims = self._dims(workdir)
+        with pytest.raises(SystemExit, match="must be > 0"):
+            main(["compress", "--dims", *dims, "--error-bound", "-1",
+                  "--compressor", "sz21", str(workdir["test"]),
+                  str(workdir["root"] / "neg.rpra")])
+
+    def test_abs_bound_mode(self, workdir):
+        dims = self._dims(workdir)
+        compressed = workdir["root"] / "absmode.rpra"
+        restored = workdir["root"] / "absmode.f32"
+        original = load_f32(workdir["test"], workdir["shape"]).astype(np.float64)
+        abs_eb = 1e-2 * float(original.max() - original.min())
+        assert main(["compress", "--dims", *dims, "--error-bound", str(abs_eb),
+                     "--bound-mode", "abs", "--compressor", "sz21",
+                     str(workdir["test"]), str(compressed)]) == 0
+        assert main(["decompress", str(compressed), str(restored)]) == 0
+        reconstructed = load_f32(restored, workdir["shape"]).astype(np.float64)
+        # float32 storage of the reconstruction adds at most a rounding epsilon.
+        assert float(np.abs(reconstructed - original).max()) <= abs_eb * 1.05
+
+    def test_embed_model_makes_aesz_archive_standalone(self, workdir):
+        """--embed-model: decompression needs no --model (nor arch flags)."""
+        dims = self._dims(workdir)
+        model = workdir["root"] / "embed_model.npz"
+        assert main(["train", str(workdir["train_0"]), "--dims", *dims,
+                     "--model", str(model), "--epochs", "1", "--max-blocks", "32",
+                     *COMMON_MODEL_ARGS]) == 0
+        compressed = workdir["root"] / "embedded.rpra"
+        restored = workdir["root"] / "embedded.f32"
+        assert main(["compress", str(workdir["test"]), str(compressed),
+                     "--dims", *dims, "--error-bound", "1e-2", "--embed-model",
+                     "--model", str(model), *COMMON_MODEL_ARGS]) == 0
+        assert main(["decompress", str(compressed), str(restored)]) == 0
+        original = load_f32(workdir["test"], workdir["shape"]).astype(np.float64)
+        reconstructed = load_f32(restored, workdir["shape"]).astype(np.float64)
+        assert verify_error_bound(original, reconstructed, 1.05e-2) is None
+
+    def test_legacy_raw_payload_still_decodes_with_default_aesz(self, workdir):
+        """Pre-archive payloads keep working with the old CLI invocation
+        (no --compressor: aesz was, and stays, the default)."""
+        from repro.autoencoders import AutoencoderConfig, SlicedWassersteinAutoencoder
+        from repro.core import AESZCompressor, AESZConfig
+
+        dims = self._dims(workdir)
+        model = workdir["root"] / "legacy_model.npz"
+        main(["train", str(workdir["train_0"]), "--dims", *dims, "--model", str(model),
+              "--epochs", "1", "--max-blocks", "32", *COMMON_MODEL_ARGS])
+        ae = SlicedWassersteinAutoencoder(AutoencoderConfig(
+            ndim=2, block_size=8, latent_size=4, channels=(2, 4), seed=0))
+        ae.load(model)
+        comp = AESZCompressor(ae, AESZConfig(block_size=8))
+        original = load_f32(workdir["test"], workdir["shape"]).astype(np.float64)
+        raw = workdir["root"] / "legacy.aesz"
+        raw.write_bytes(comp.compress(original, 1e-2))  # old-style raw payload
+
+        restored = workdir["root"] / "legacy.f32"
+        assert main(["decompress", "--model", str(model), "--dims", *dims,
+                     *COMMON_MODEL_ARGS, "--", str(raw), str(restored)]) == 0
+        reconstructed = load_f32(restored, workdir["shape"]).astype(np.float64)
+        assert verify_error_bound(original, reconstructed, 1.05e-2) is None
+
+    def test_aesz_decompress_without_model_fails_clearly(self, workdir):
+        dims = self._dims(workdir)
+        model = workdir["root"] / "noembed_model.npz"
+        main(["train", str(workdir["train_0"]), "--dims", *dims, "--model", str(model),
+              "--epochs", "1", "--max-blocks", "32", *COMMON_MODEL_ARGS])
+        compressed = workdir["root"] / "noembed.rpra"
+        main(["compress", str(workdir["test"]), str(compressed), "--dims", *dims,
+              "--error-bound", "1e-2", "--model", str(model), *COMMON_MODEL_ARGS])
+        with pytest.raises(SystemExit, match="no embedded model"):
+            main(["decompress", str(compressed), str(workdir["root"] / "out.f32")])

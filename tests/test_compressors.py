@@ -78,10 +78,22 @@ class TestTraditionalCompressorsCommon:
 
     @pytest.mark.parametrize("compressor_cls", TRADITIONAL)
     def test_roundtrip_result_metrics(self, compressor_cls, small_2d):
+        # small_2d is float64, so the original counts 64 bits per value.
         result = compressor_cls().roundtrip(small_2d, 1e-3)
         assert result.compression_ratio > 1.0
-        assert result.bit_rate == pytest.approx(32.0 / result.compression_ratio)
+        assert result.n_points == small_2d.size
+        assert result.original_dtype == "float64"
+        assert result.original_bytes == small_2d.size * 8
+        assert result.bit_rate == pytest.approx(64.0 / result.compression_ratio)
         assert np.isfinite(result.psnr)
+
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64])
+    def test_roundtrip_bit_rate_independent_of_dtype_width(self, small_2d, dtype):
+        """bit_rate counts compressed bits per point, not per original byte."""
+        result = SZ21Compressor().roundtrip(small_2d.astype(dtype), 1e-3)
+        assert result.original_bytes == small_2d.size * np.dtype(dtype).itemsize
+        assert result.bit_rate == pytest.approx(
+            result.compressed_bytes * 8.0 / small_2d.size)
 
 
 class TestSZ21Internals:
@@ -182,7 +194,8 @@ class TestAEBComparator:
         return comp
 
     def test_fixed_compression_ratio(self, trained_aeb, field_3d):
-        result = trained_aeb.roundtrip(field_3d, 1e-3)
+        # float32 input: the nominal ratio assumes equal-precision input/latents.
+        result = trained_aeb.roundtrip(field_3d.astype(np.float32), 1e-3)
         # The ratio is fixed by the architecture (not by the error bound).
         assert result.compression_ratio == pytest.approx(trained_aeb.fixed_compression_ratio,
                                                          rel=0.35)
