@@ -44,7 +44,14 @@ from repro.compressors import (
     SZInterpCompressor,
     ZFPCompressor,
 )
-from repro.api import compress, decompress, read_header, roundtrip
+from repro.api import (
+    compress,
+    compress_chunked,
+    decompress,
+    iter_decompressed_chunks,
+    read_header,
+    roundtrip,
+)
 from repro.metrics import (
     bit_rate,
     compression_ratio,
@@ -64,7 +71,9 @@ __version__ = "1.1.0"
 
 __all__ = [
     "compress",
+    "compress_chunked",
     "decompress",
+    "iter_decompressed_chunks",
     "roundtrip",
     "read_header",
     "ErrorBound",

@@ -27,20 +27,33 @@ through the per-class ``decompress`` — the archive layer is additive.
 
 from __future__ import annotations
 
-from typing import Optional
+from pathlib import Path
+from typing import Iterator, Optional, Tuple, Union
 
 import numpy as np
 
-from repro.bounds import MODE_PTW_REL, Abs, as_bound
+from repro.bounds import MODE_PTW_REL, MODE_REL, Abs, ErrorBound, as_bound
 from repro.compressors.base import CompressorResult
 from repro.core.aesz import output_dtype_and_bound
-from repro.encoding.container import Archive, is_archive
+from repro.encoding.container import (
+    Archive,
+    ChunkedIndex,
+    build_chunked_archive,
+    is_archive,
+    is_chunked_archive,
+)
 from repro.encoding.lossless import get_backend
 from repro.metrics.error import max_abs_error, psnr
 from repro.registry import compressor_spec, get_compressor, name_for_compressor
+from repro.utils.parallel import parallel_imap
 from repro.utils.validation import value_range
 
 _MASK_BACKEND = "zlib"
+
+#: Default chunk size (in elements) for :func:`compress_chunked` — ~32 MB of
+#: float64 per chunk, large enough to amortize per-chunk headers and process
+#: dispatch, small enough that a handful of in-flight chunks fits in RAM.
+DEFAULT_CHUNK_ELEMS = 4 * 1024 * 1024
 
 
 # ---------------------------------------------------------------------------
@@ -190,6 +203,17 @@ def compress(data, codec="sz21", bound=1e-3, *, codec_options: Optional[dict] = 
     name, comp = _resolve_codec(codec, codec_options)
     spec = compressor_spec(name)
     bound = as_bound(bound)
+    if (spec.error_bounded and not spec.exact
+            and np.issubdtype(data.dtype, np.floating)
+            and not np.all(np.isfinite(data))):
+        raise ValueError(
+            f"data contains non-finite values (NaN/Inf); codec {name!r} cannot "
+            f"honour an error bound on them — store such fields exactly with "
+            f"codec='lossless'"
+        )
+    # Codecs flatten 0-d inputs to shape (1,); the header keeps the true shape
+    # and decompress restores it.
+    codec_data = data.reshape((1,)) if data.ndim == 0 else data
 
     extra = {}
     if bound.mode == MODE_PTW_REL:
@@ -198,17 +222,17 @@ def compress(data, codec="sz21", bound=1e-3, *, codec_options: Optional[dict] = 
                 f"codec {name!r} is not error bounded and cannot honour a "
                 f"pointwise-relative bound"
             )
-        eps, out_dtype = _ptw_cast_plan(data, bound.value, spec)
-        log_data, log_bound, extra = _ptw_forward(data, eps)
+        eps, out_dtype = _ptw_cast_plan(codec_data, bound.value, spec)
+        log_data, log_bound, extra = _ptw_forward(codec_data, eps)
         payload = comp.compress(log_data, Abs(log_bound).rel_equivalent(log_data))
     elif getattr(comp, "manages_output_dtype", False):
         # The codec runs the tighten-then-cast analysis itself (AE-SZ);
         # planning here too would subtract the cast margin twice.
         out_dtype = None
-        payload = comp.compress(data, bound.rel_equivalent(data))
+        payload = comp.compress(codec_data, bound.rel_equivalent(codec_data))
     else:
-        eff_rel, out_dtype = _cast_plan(data, bound.rel_equivalent(data), spec)
-        payload = comp.compress(data, eff_rel)
+        eff_rel, out_dtype = _cast_plan(codec_data, bound.rel_equivalent(codec_data), spec)
+        payload = comp.compress(codec_data, eff_rel)
 
     meta, blobs = comp.archive_state(embed_model=embed_model)
     if "facade" in meta:
@@ -232,24 +256,353 @@ def compress(data, codec="sz21", bound=1e-3, *, codec_options: Optional[dict] = 
     return archive.to_bytes()
 
 
-def read_header(blob: bytes) -> Archive:
+# ---------------------------------------------------------------------------
+# Chunked (out-of-core) pipeline
+# ---------------------------------------------------------------------------
+
+def _open_source(source):
+    """Resolve a chunked-compression source to an array or a block iterator."""
+    if isinstance(source, (str, Path)):
+        path = Path(source)
+        if path.suffix == ".npy":
+            return np.load(path, mmap_mode="r")
+        raise ValueError(
+            f"cannot infer the array layout of {str(path)!r}; map raw files with "
+            "numpy.memmap(path, dtype=..., shape=...) and pass the array"
+        )
+    return source
+
+
+def _slab_chunks(arr: np.ndarray, chunk_elems: int):
+    """Yield ``(start_row, stop_row, slab)`` slabs of <= ``chunk_elems`` elements.
+
+    Slabs are whole rows along axis 0, so each chunk of an arbitrary-rank field
+    is itself a contiguous field of the same rank.  One row is the floor: when
+    a single row already exceeds ``chunk_elems``, chunks are single rows (the
+    memory bound then scales with the row size, not ``chunk_elems``).  A 0-d
+    array is one chunk.
+    """
+    if arr.ndim == 0:
+        yield 0, 1, arr
+        return
+    row_elems = int(np.prod(arr.shape[1:], dtype=np.int64)) if arr.ndim > 1 else 1
+    rows = max(1, chunk_elems // max(1, row_elems))
+    for start in range(0, arr.shape[0], rows):
+        stop = min(arr.shape[0], start + rows)
+        yield start, stop, arr[start:stop]
+
+
+def _rechunk_blocks(blocks, chunk_elems: int, info: dict):
+    """Regroup an iterator of row-blocks into ~``chunk_elems``-element chunks.
+
+    Consumes lazily: at most one chunk's worth of rows is buffered, so the
+    stream never materializes.  Records the trailing shape / dtype discovered
+    from the first block in ``info`` (blocks must agree on both).
+    """
+    buffered: list = []
+    buffered_elems = 0
+
+    def _flush():
+        chunk = buffered[0] if len(buffered) == 1 else np.concatenate(buffered, axis=0)
+        buffered.clear()
+        return chunk
+
+    for block in blocks:
+        block = np.asarray(block)
+        if block.ndim == 0:
+            block = block.reshape(1)
+        if "trailing" not in info:
+            info["trailing"] = tuple(int(s) for s in block.shape[1:])
+            info["dtype"] = str(block.dtype)
+        if tuple(block.shape[1:]) != info["trailing"]:
+            raise ValueError(
+                f"iterator blocks must share trailing dimensions: got "
+                f"{tuple(block.shape[1:])} after {info['trailing']}"
+            )
+        if str(block.dtype) != info["dtype"]:
+            raise ValueError(
+                f"iterator blocks must share one dtype: got {block.dtype} "
+                f"after {info['dtype']}"
+            )
+        if block.shape[0] == 0:
+            continue
+        if block.size >= chunk_elems:
+            # Oversized block: flush the buffer, then slab-split the block
+            # directly — nothing larger than one chunk is ever materialized.
+            if buffered:
+                buffered_elems = 0
+                yield _flush()
+            for _, _, slab in _slab_chunks(block, chunk_elems):
+                yield slab
+            continue
+        if buffered and buffered_elems + block.size > chunk_elems:
+            # Appending would overshoot: flush first so no emitted chunk ever
+            # exceeds ``chunk_elems`` (chunks may come out smaller instead).
+            buffered_elems = 0
+            yield _flush()
+        buffered.append(block)
+        buffered_elems += block.size
+        if buffered_elems >= chunk_elems:
+            buffered_elems = 0
+            yield _flush()
+    if buffered:
+        yield _flush()
+
+
+def _range_pass(arr: np.ndarray, chunk_elems: int) -> Tuple[float, float]:
+    """Streaming global min/max over slabs (no whole-array float64 copy)."""
+    lo, hi = np.inf, -np.inf
+    for _, _, slab in _slab_chunks(arr, chunk_elems):
+        lo = min(lo, float(np.min(slab)))
+        hi = max(hi, float(np.max(slab)))
+    return lo, hi
+
+
+def _compress_chunk_job(job) -> bytes:
+    """Module-level worker so spawn-based process pools can pickle it."""
+    chunk, codec, codec_options, bound, embed_model = job
+    return compress(chunk, codec=codec, bound=bound, codec_options=codec_options,
+                    embed_model=embed_model)
+
+
+def _decompress_chunk_job(job) -> np.ndarray:
+    chunk_blob, model, autoencoder, codec_options = job
+    return _decompress_archive(chunk_blob, model=model, autoencoder=autoencoder,
+                               codec_options=codec_options)
+
+
+def compress_chunked(source, codec="sz21", bound=1e-3, *,
+                     chunk_size: int = DEFAULT_CHUNK_ELEMS,
+                     workers: Optional[int] = None,
+                     codec_options: Optional[dict] = None,
+                     embed_model: bool = True,
+                     data_range: Optional[Tuple[float, float]] = None,
+                     dtype=None) -> bytes:
+    """Compress a large field chunk by chunk into a multi-chunk archive.
+
+    ``source`` may be an in-memory array, a memory-mapped array (e.g.
+    ``numpy.memmap`` or ``numpy.load(path, mmap_mode="r")``), a path to a
+    ``.npy`` file (opened memory-mapped), or an iterator of row-blocks sharing
+    trailing dimensions — in the mapped/iterator cases the field never fully
+    resides in RAM.  The field is split into row slabs of roughly
+    ``chunk_size`` elements along axis 0 and each slab becomes an independent
+    single-shot archive inside a version-2 envelope whose front index table
+    lets every chunk be located, verified and decoded in any order.
+
+    The error-bound guarantee matches single-shot :func:`compress` exactly:
+    a ``Rel`` bound is converted **once**, from a global range pass, into the
+    per-chunk absolute bound ``value * (max(D) - min(D))``, so the chunked
+    reconstruction obeys the same inequality as the single-shot one.  ``Abs``
+    and ``PtwRel`` bounds are pointwise to begin with and pass straight
+    through.  Iterator sources cannot be replayed for the range pass, so a
+    ``Rel`` bound there needs ``data_range=(min, max)`` (or use ``Abs`` /
+    ``PtwRel``).
+
+    ``dtype`` casts each chunk (slab-wise, never the whole field) before
+    compression and records that dtype in the header — e.g. ``np.float64`` to
+    give codecs the same input the single-shot CLI path feeds them while the
+    source stays a memory-mapped float32 file.
+
+    ``workers`` compresses chunks through a ``spawn``-based process pool
+    (``None``/``1`` = serial).  The output is **bit-identical for any worker
+    count**: chunk boundaries and per-chunk bounds are fixed before dispatch
+    and results are reassembled in input order.  For model-backed codecs note
+    that ``embed_model=True`` stores the weights in *every* chunk; pass
+    ``embed_model=False`` and keep the model as a side file when that matters.
+    """
+    src = _open_source(source)
+    bound = as_bound(bound)
+    if isinstance(codec, str):
+        spec = compressor_spec(codec)
+        job_codec = spec.name
+    else:
+        if codec_options:
+            raise ValueError("codec_options only apply when codec is given by name")
+        spec = compressor_spec(name_for_compressor(codec))
+        job_codec = codec
+    if int(chunk_size) <= 0:
+        raise ValueError(f"chunk_size must be a positive element count, got {chunk_size}")
+    chunk_elems = int(chunk_size)
+    is_array = isinstance(src, np.ndarray)
+
+    meta: dict = {}
+    if spec.error_bounded and not spec.exact and bound.mode == MODE_REL:
+        if data_range is not None:
+            lo, hi = float(data_range[0]), float(data_range[1])
+        elif is_array:
+            lo, hi = _range_pass(src, chunk_elems)
+        else:
+            raise ValueError(
+                "a value-range-relative bound over an iterator source needs "
+                "data_range=(min, max): the stream cannot be replayed for the "
+                "global range pass (or use an Abs/PtwRel bound)"
+            )
+        if hi < lo:
+            raise ValueError(
+                f"data range [{lo}, {hi}] is reversed or empty; pass "
+                f"data_range=(min, max) with min <= max"
+            )
+        if not (np.isfinite(lo) and np.isfinite(hi)):
+            raise ValueError(
+                f"data range [{lo}, {hi}] is not finite; error-bounded "
+                f"compression is undefined on NaN/Inf fields"
+            )
+        vrange = hi - lo
+        abs_eb = bound.value * vrange if vrange > 0 else bound.value
+        chunk_bound: ErrorBound = Abs(abs_eb)
+        meta["chunked"] = {"data_range": [lo, hi], "abs_bound": abs_eb}
+    else:
+        # Abs / PtwRel are pointwise; non-error-bounded codecs take the bound
+        # as-is (they ignore it or treat it as a target).
+        chunk_bound = bound
+
+    starts = [0]
+    info: dict = {}
+    cast_dtype = np.dtype(dtype) if dtype is not None else None
+
+    def _cast(chunk: np.ndarray) -> np.ndarray:
+        return np.asarray(chunk, dtype=cast_dtype) if cast_dtype is not None \
+            else np.asarray(chunk)
+
+    def _jobs():
+        if is_array:
+            for _, stop, slab in _slab_chunks(src, chunk_elems):
+                starts.append(int(stop))
+                yield (_cast(slab), job_codec, codec_options, chunk_bound,
+                       embed_model)
+        else:
+            for chunk in _rechunk_blocks(src, chunk_elems, info):
+                starts.append(starts[-1] + int(chunk.shape[0]))
+                yield (_cast(chunk), job_codec, codec_options, chunk_bound,
+                       embed_model)
+
+    blobs = list(parallel_imap(_compress_chunk_job, _jobs(), workers=workers))
+    if not blobs:
+        raise ValueError("source produced no data to compress")
+    if is_array:
+        shape = tuple(int(s) for s in src.shape)
+        source_dtype = str(src.dtype)
+    else:
+        shape = (starts[-1],) + info["trailing"]
+        source_dtype = info["dtype"]
+    return build_chunked_archive(
+        codec=spec.name, shape=shape,
+        dtype=str(cast_dtype) if cast_dtype is not None else source_dtype,
+        bound_mode=bound.mode, bound_value=bound.value, axis=0, starts=starts,
+        chunk_blobs=blobs, meta=meta)
+
+
+def _store_chunk(out: np.ndarray, where, chunk: np.ndarray) -> None:
+    """Write ``chunk`` into ``out[where]``, refusing lossy dtype narrowing."""
+    if out.dtype != chunk.dtype:
+        exact_widening = (np.issubdtype(out.dtype, np.floating)
+                          and np.issubdtype(chunk.dtype, np.floating)
+                          and out.dtype.itemsize > chunk.dtype.itemsize)
+        if not exact_widening:
+            raise ValueError(
+                f"out has dtype {out.dtype}, which cannot losslessly hold a "
+                f"chunk reconstructed as {chunk.dtype}; pass a float64 out "
+                f"array (always safe) or omit out"
+            )
+    out[where] = chunk
+
+
+def iter_decompressed_chunks(blob: bytes, *, model=None, autoencoder=None,
+                             codec_options: Optional[dict] = None,
+                             workers: Optional[int] = None
+                             ) -> Iterator[Tuple[slice, np.ndarray]]:
+    """Stream a chunked archive as ``(row_slice, chunk_array)`` pairs, in order.
+
+    The out-of-core consumer loop: only a bounded number of chunks is ever in
+    flight, so a larger-than-RAM field can be decompressed straight into its
+    destination (a memmap, a socket, ...).  ``row_slice`` addresses the chunk's
+    slab along axis 0 of the full field.
+    """
+    index = ChunkedIndex.from_bytes(blob)
+    yield from _iter_chunks(index, blob, model=model, autoencoder=autoencoder,
+                            codec_options=codec_options, workers=workers)
+
+
+def _iter_chunks(index: ChunkedIndex, blob: bytes, *, model=None, autoencoder=None,
+                 codec_options: Optional[dict] = None,
+                 workers: Optional[int] = None
+                 ) -> Iterator[Tuple[slice, np.ndarray]]:
+    compressor_spec(index.codec)  # unknown codec fails before any decode work
+    jobs = ((index.chunk_bytes(blob, i), model, autoencoder, codec_options)
+            for i in range(index.n_chunks))
+    for i, chunk in enumerate(parallel_imap(_decompress_chunk_job, jobs,
+                                            workers=workers)):
+        if tuple(chunk.shape) != index.chunk_shape(i):
+            raise ValueError(
+                f"corrupt archive: chunk {i} decoded to shape "
+                f"{tuple(chunk.shape)}, index says {index.chunk_shape(i)}"
+            )
+        yield index.chunk_slice(i), chunk
+
+
+def _decompress_chunked(blob: bytes, *, model=None, autoencoder=None,
+                        codec_options: Optional[dict] = None,
+                        workers: Optional[int] = None,
+                        out: Optional[np.ndarray] = None) -> np.ndarray:
+    index = ChunkedIndex.from_bytes(blob)
+    if out is not None and tuple(out.shape) != index.shape:
+        raise ValueError(f"out has shape {tuple(out.shape)}, archive says {index.shape}")
+    result = out
+    for sl, chunk in _iter_chunks(index, blob, model=model,
+                                  autoencoder=autoencoder,
+                                  codec_options=codec_options,
+                                  workers=workers):
+        if index.shape == ():  # single scalar chunk
+            if out is None:
+                return chunk
+            _store_chunk(out, Ellipsis, chunk)
+            return out
+        if out is not None:
+            _store_chunk(out, sl, chunk)
+            continue
+        if result is None:
+            result = np.empty(index.shape, dtype=chunk.dtype)
+        elif chunk.dtype.itemsize > result.dtype.itemsize:
+            # A later chunk could not be restored narrow; widen what is
+            # already written (exact float upcast) and continue.
+            result = result.astype(chunk.dtype)
+        result[sl] = chunk
+    if result is None:
+        raise ValueError("corrupt archive: chunked archive with no chunks")
+    return result
+
+
+def read_header(blob: bytes) -> Union[Archive, ChunkedIndex]:
     """Parse an archive's framed header without decompressing the payload.
 
-    The returned :class:`Archive` still carries the raw payload bytes; this is
-    the inspection entry point (``python -m repro list`` / ``info`` use it).
+    Single-shot (version-1) blobs return an :class:`Archive` that still
+    carries the raw payload bytes; chunked (version-2) blobs return a
+    :class:`ChunkedIndex` with the chunk table.  Both expose ``codec`` /
+    ``shape`` / ``dtype`` / ``bound_mode`` / ``bound_value``; this is the
+    inspection entry point (``python -m repro info`` uses it).
     """
+    if is_chunked_archive(blob):
+        return ChunkedIndex.from_bytes(blob)
     return Archive.from_bytes(blob)
 
 
 def decompress(blob: bytes, *, model=None, autoencoder=None,
-               codec_options: Optional[dict] = None) -> np.ndarray:
-    """Reconstruct the array from an archive produced by :func:`compress`.
+               codec_options: Optional[dict] = None, workers: Optional[int] = None,
+               out: Optional[np.ndarray] = None) -> np.ndarray:
+    """Reconstruct the array from an archive produced by :func:`compress`
+    or :func:`compress_chunked`.
 
     No dims/dtype/codec arguments are needed — the archive header carries them.
     ``model`` (an ``.npz`` path) or ``autoencoder`` (a live instance) are only
     needed for AE-based archives written with ``embed_model=False``; when the
     archive embeds or fingerprints a model, a mismatched ``model``/
     ``autoencoder`` is refused with a clear error.
+
+    ``workers`` decodes the chunks of a chunked archive through a process pool
+    (ignored for single-shot archives, which decode in-process).  ``out``
+    accepts a preallocated array (e.g. a ``numpy.memmap``) to stream the
+    reconstruction into; its dtype must hold every chunk's dtype exactly
+    (float64 always qualifies).
 
     Narrow float inputs (float32/float16) come back in their own dtype
     whenever :func:`compress` could prove the cast preserves the requested
@@ -267,6 +620,23 @@ def decompress(blob: bytes, *, model=None, autoencoder=None,
                 "producing compressor's .decompress(), or re-compress via repro.compress()"
             )
         raise ValueError("corrupt archive: bad magic (not a repro archive)")
+    if is_chunked_archive(blob):
+        return _decompress_chunked(blob, model=model, autoencoder=autoencoder,
+                                   codec_options=codec_options, workers=workers, out=out)
+    recon = _decompress_archive(blob, model=model, autoencoder=autoencoder,
+                                codec_options=codec_options)
+    if out is not None:
+        if tuple(out.shape) != tuple(recon.shape):
+            raise ValueError(
+                f"out has shape {tuple(out.shape)}, archive says {tuple(recon.shape)}")
+        _store_chunk(out, Ellipsis, recon)
+        return out
+    return recon
+
+
+def _decompress_archive(blob: bytes, *, model=None, autoencoder=None,
+                        codec_options: Optional[dict] = None) -> np.ndarray:
+    """Decode one single-shot (version-1) archive blob."""
     archive = Archive.from_bytes(blob)
     spec = compressor_spec(archive.codec)
 
@@ -283,6 +653,8 @@ def decompress(blob: bytes, *, model=None, autoencoder=None,
     recon = comp.decompress(archive.payload)
     if archive.bound_mode == MODE_PTW_REL:
         recon = _ptw_inverse(recon, archive)
+    if archive.shape == () and tuple(recon.shape) == (1,):
+        recon = recon.reshape(())  # compress feeds codecs 0-d inputs as shape (1,)
     if tuple(recon.shape) != archive.shape:
         raise ValueError(
             f"corrupt archive: payload decoded to shape {tuple(recon.shape)}, "
@@ -319,4 +691,5 @@ def roundtrip(data, codec="sz21", bound=1e-3, *, codec_options: Optional[dict] =
     )
 
 
-__all__ = ["compress", "decompress", "roundtrip", "read_header"]
+__all__ = ["compress", "compress_chunked", "decompress", "iter_decompressed_chunks",
+           "roundtrip", "read_header", "DEFAULT_CHUNK_ELEMS"]

@@ -76,7 +76,16 @@ class ErrorBound:
             return self.value
         if self.mode == MODE_ABS:
             vr = value_range(data)
-            return self.value / vr if vr > 0 else self.value
+            if vr <= 0:
+                return self.value
+            rel = self.value / vr
+            # Codecs rebuild the absolute bound as ``rel * vr``, which can
+            # round one ulp *above* the requested value; nudge down so the
+            # round-trip never loosens the bound (exactness means "never
+            # exceeds", and this keeps chunked == single-shot guarantees).
+            while rel * vr > self.value:
+                rel = float(np.nextafter(rel, 0.0))
+            return rel
         raise ValueError(
             "a pointwise-relative bound has no value-range-relative equivalent; "
             "use repro.compress(), which applies the logarithmic transform"

@@ -21,8 +21,14 @@ discovered through :mod:`repro.registry`, so new compressors show up in
     python -m repro compress --dims 256 512 --error-bound 0.03 --bound-mode abs \
         --compressor szinterp snapshot9.f32 snapshot9.rpra
 
+    # chunked + parallel: stream a memory-mapped field through a worker pool
+    # in independent ~4M-element chunks (fields larger than RAM work)
+    python -m repro compress --dims 4096 4096 --error-bound 1e-3 \
+        --compressor szinterp --chunk-size 4194304 --workers 4 big.f32 big.rpra
+
     # decompress: the archive knows its codec, dims, dtype and model hash
     python -m repro decompress snapshot9.rpra snapshot9.out.f32 --model swae.npz
+    # (add --workers N to decode a chunked archive's chunks in parallel)
 
     # compare against the original and print ratio / PSNR / max error
     python -m repro info --dims 256 512 snapshot9.f32 snapshot9.out.f32
@@ -45,7 +51,7 @@ from repro import api
 from repro.autoencoders import AutoencoderConfig, SlicedWassersteinAutoencoder
 from repro.bounds import ErrorBound, MODES
 from repro.core import AESZCompressor, AESZConfig
-from repro.data.loader import load_f32, save_f32
+from repro.data.loader import load_f32, map_f32, save_f32
 from repro.encoding.container import is_archive
 from repro.metrics import compression_ratio, max_rel_error, psnr
 from repro.nn import TrainingConfig
@@ -127,6 +133,13 @@ def build_parser() -> argparse.ArgumentParser:
     comp.add_argument("--latent-size", type=int, default=16)
     comp.add_argument("--channels", type=int, nargs="+", default=[4, 8])
     comp.add_argument("--seed", type=int, default=0)
+    comp.add_argument("--chunk-size", type=int, default=0, metavar="ELEMS",
+                      help="compress in independent row-slab chunks of ~ELEMS elements "
+                           "(streamed from a memory-mapped input, so fields larger than "
+                           "RAM work); 0 = single-shot (default)")
+    comp.add_argument("--workers", type=int, default=1,
+                      help="process-pool workers for chunked compression (needs "
+                           "--chunk-size; output is bit-identical for any worker count)")
 
     # ------------------------------------------------------------- decompress
     dec = sub.add_parser("decompress", help="decompress an archive produced by 'compress'")
@@ -141,6 +154,9 @@ def build_parser() -> argparse.ArgumentParser:
     dec.add_argument("--latent-size", type=int, default=16)
     dec.add_argument("--channels", type=int, nargs="+", default=[4, 8])
     dec.add_argument("--seed", type=int, default=0)
+    dec.add_argument("--workers", type=int, default=1,
+                     help="process-pool workers for decoding chunked archives "
+                          "(single-shot archives decode in-process)")
 
     # ------------------------------------------------------------------- info
     info = sub.add_parser("info", help="compare an original and a reconstructed field")
@@ -186,18 +202,35 @@ def _cmd_train(args: argparse.Namespace) -> int:
 
 
 def _cmd_compress(args: argparse.Namespace) -> int:
-    data = load_f32(args.input, args.dims).astype(np.float64)
     compressor = _make_compressor(args)
     try:
         bound = ErrorBound(args.bound_mode, args.error_bound)
-        blob = api.compress(data, codec=compressor, bound=bound,
-                            embed_model=args.embed_model)
+        if args.workers > 1 and args.chunk_size <= 0:
+            raise SystemExit("--workers needs --chunk-size (single-shot "
+                             "compression runs in-process)")
+        if args.chunk_size > 0:
+            # Memory-map the input and stream row slabs through the chunked
+            # pipeline — the field never fully resides in RAM; the per-slab
+            # float64 cast gives codecs the same input as the single-shot path.
+            data = map_f32(args.input, args.dims)
+            blob = api.compress_chunked(data, codec=compressor, bound=bound,
+                                        chunk_size=args.chunk_size,
+                                        workers=args.workers,
+                                        embed_model=args.embed_model,
+                                        dtype=np.float64)
+            detail = (f", {api.read_header(blob).n_chunks} chunks"
+                      f", workers {args.workers}")
+        else:
+            data = load_f32(args.input, args.dims).astype(np.float64)
+            blob = api.compress(data, codec=compressor, bound=bound,
+                                embed_model=args.embed_model)
+            detail = ""
     except ValueError as exc:
         raise SystemExit(str(exc))
     Path(args.output).write_bytes(blob)
     print(f"{args.input}: {data.size * 4} -> {len(blob)} bytes "
           f"(ratio {compression_ratio(data.size * 4, len(blob)):.2f}x, "
-          f"bound {bound.mode}={bound.value:g}, codec {args.compressor})")
+          f"bound {bound.mode}={bound.value:g}, codec {args.compressor}{detail})")
     return 0
 
 
@@ -211,7 +244,8 @@ def _cmd_decompress(args: argparse.Namespace) -> int:
         if args.dims and tuple(args.dims) != header.shape:
             raise SystemExit(f"archive shape {header.shape} != --dims {tuple(args.dims)}")
         try:
-            reconstruction = api.decompress(blob, model=args.model)
+            reconstruction = api.decompress(blob, model=args.model,
+                                            workers=args.workers)
         except ValueError as exc:
             raise SystemExit(str(exc))
     else:
@@ -241,8 +275,11 @@ def _cmd_info(args: argparse.Namespace) -> int:
         blob = Path(args.compressed).read_bytes()
         if is_archive(blob):
             header = api.read_header(blob)
+            chunks = (f", {header.n_chunks} chunks"
+                      if hasattr(header, "n_chunks") else "")
             print(f"archive         : codec {header.codec}, shape {header.shape}, "
-                  f"dtype {header.dtype}, bound {header.bound_mode}={header.bound_value:g}")
+                  f"dtype {header.dtype}, bound {header.bound_mode}={header.bound_value:g}"
+                  f"{chunks}")
         print(f"compression     : {compression_ratio(original.size * 4, len(blob)):.2f}x "
               f"({len(blob)} bytes)")
     return 0

@@ -11,7 +11,7 @@ from repro.registry import register_compressor
 from repro.utils.validation import ensure_float_array
 
 
-@register_compressor("lossless", aliases=("zlib",),
+@register_compressor("lossless", aliases=("zlib",), exact=True,
                      description="lossless dictionary coding of the raw bytes (exact)")
 class LosslessCompressor(Compressor):
     """Dictionary-code the raw float bytes; reconstruction is exact."""

@@ -8,9 +8,12 @@ prediction errors go through linear-scale quantization, Huffman coding and a
 dictionary pass.
 
 The in-block Lorenzo scan is inherently sequential (each point's prediction
-depends on the just-reconstructed neighbours); it is implemented as a tight
-Python loop over the block, which is the faithful formulation — see DESIGN.md
-for the performance note.
+depends on the just-reconstructed neighbours).  The encoder keeps the faithful
+per-element formulation (quantize/feedback makes every point data-dependent —
+see DESIGN.md for the performance note); the decoder, whose data flow is fixed
+once the codes are known, runs as a batched hyperplane sweep across all blocks
+at once (:func:`_lorenzo_decode_blocks`), bit-identical to the scalar
+reference path that ``decompress(..., scalar=True)`` preserves.
 """
 
 from __future__ import annotations
@@ -113,6 +116,68 @@ def _sequential_lorenzo_decode(codes: np.ndarray, unpred: np.ndarray, error_boun
     return recon
 
 
+def _lorenzo_decode_blocks(codes: np.ndarray, uvals: np.ndarray, is_unp: np.ndarray,
+                           error_bound: float, num_bins: int) -> np.ndarray:
+    """Hyperplane-vectorized Lorenzo decode of a whole batch of blocks at once.
+
+    ``codes`` is ``(n_blocks, *block_shape)``; ``uvals`` carries the
+    unpredictable literals scattered at their positions and ``is_unp`` marks
+    them.  Points on the hyperplane ``i + j (+ k) = t`` only depend on earlier
+    hyperplanes, so the in-block scan runs as ``O(sum(block_shape))`` vector
+    steps across every block simultaneously instead of one Python iteration
+    per point.  Each step evaluates the same expressions in the same order as
+    :func:`_sequential_lorenzo_decode`, so the output is bit-identical to the
+    scalar path (guarded by a regression test).
+    """
+    step = 2.0 * error_bound
+    center = num_bins // 2
+    delta = step * (codes - center)
+    shape = codes.shape[1:]
+    ndim = len(shape)
+    recon = np.zeros(codes.shape, dtype=np.float64)
+    if ndim == 1:
+        prev = np.zeros(codes.shape[0], dtype=np.float64)
+        for i in range(shape[0]):
+            val = prev + delta[:, i]
+            val = np.where(is_unp[:, i], uvals[:, i], val)
+            recon[:, i] = val
+            prev = val
+    elif ndim == 2:
+        h, w = shape
+        for t in range(h + w - 1):
+            i = np.arange(max(0, t - w + 1), min(t, h - 1) + 1)
+            j = t - i
+            im = np.maximum(i - 1, 0)
+            jm = np.maximum(j - 1, 0)
+            a = np.where(j > 0, recon[:, i, jm], 0.0)
+            b = np.where(i > 0, recon[:, im, j], 0.0)
+            c = np.where((i > 0) & (j > 0), recon[:, im, jm], 0.0)
+            pred = a + b - c
+            val = pred + delta[:, i, j]
+            recon[:, i, j] = np.where(is_unp[:, i, j], uvals[:, i, j], val)
+    else:
+        d1, d2, d3 = shape
+        coords = np.indices(shape).reshape(3, -1)
+        plane_of = coords.sum(axis=0)
+
+        def gather(i, j, k, di, dj, dk):
+            valid = (i >= di) & (j >= dj) & (k >= dk)
+            return np.where(valid, recon[:, np.maximum(i - di, 0),
+                                         np.maximum(j - dj, 0),
+                                         np.maximum(k - dk, 0)], 0.0)
+
+        for t in range(d1 + d2 + d3 - 2):
+            sel = plane_of == t
+            i, j, k = coords[0, sel], coords[1, sel], coords[2, sel]
+            pred = (gather(i, j, k, 0, 0, 1) + gather(i, j, k, 0, 1, 0)
+                    + gather(i, j, k, 1, 0, 0) - gather(i, j, k, 0, 1, 1)
+                    - gather(i, j, k, 1, 0, 1) - gather(i, j, k, 1, 1, 0)
+                    + gather(i, j, k, 1, 1, 1))
+            val = pred + delta[:, i, j, k]
+            recon[:, i, j, k] = np.where(is_unp[:, i, j, k], uvals[:, i, j, k], val)
+    return recon
+
+
 @register_compressor("sz21", aliases=("sz2.1", "sz"),
                      description="SZ2.1-style blockwise Lorenzo + regression predictor")
 class SZ21Compressor(Compressor):
@@ -193,14 +258,15 @@ class SZ21Compressor(Compressor):
         return container.to_bytes()
 
     # --------------------------------------------------------------- decompress
-    def decompress(self, payload: bytes) -> np.ndarray:
+    def decompress(self, payload: bytes, scalar: bool = False) -> np.ndarray:
+        """Decode a payload; ``scalar=True`` forces the per-element reference
+        path (bit-identical to the default vectorized one — kept for the
+        regression test and as executable documentation of the scan order)."""
         container = ByteContainer.from_bytes(payload)
         meta = container.get_json("meta")
         grid = BlockGrid.from_dict(meta["grid"])
         abs_eb = float(meta["abs_error_bound"])
         num_bins = int(meta["num_bins"])
-        center = num_bins // 2
-        step = 2.0 * abs_eb
 
         flags = self._entropy.decode(container["flags"]).astype(np.uint8)
         codes = self._entropy.decode(container["codes"])
@@ -211,28 +277,49 @@ class SZ21Compressor(Compressor):
         block_shape = grid.block_shape
         block_elems = int(np.prod(block_shape))
         n_coef = len(block_shape) + 1
+        if len(flags) != grid.n_blocks or len(codes) != grid.n_blocks * block_elems:
+            raise ValueError("corrupt payload: stream sizes do not match the block grid")
+        if not np.all((flags == FLAG_LORENZO) | (flags == FLAG_REGRESSION)):
+            raise ValueError("corrupt payload: unknown block predictor flag")
         blocks = np.zeros((grid.n_blocks,) + block_shape, dtype=np.float64)
 
-        code_pos = 0
-        unpred_pos = 0
-        coef_pos = 0
-        for b in range(grid.n_blocks):
-            block_codes = codes[code_pos:code_pos + block_elems].reshape(block_shape)
-            code_pos += block_elems
-            n_unp = int(np.count_nonzero(block_codes == UNPREDICTABLE_CODE))
-            block_unpred = unpred[unpred_pos:unpred_pos + n_unp]
-            unpred_pos += n_unp
-            if flags[b] == FLAG_REGRESSION:
-                coef = coefs[coef_pos:coef_pos + n_coef]
-                coef_pos += n_coef
-                from repro.predictors.regression import RegressionCoefficients
+        codes_all = codes.reshape((grid.n_blocks,) + block_shape)
+        unp_mask = codes_all == UNPREDICTABLE_CODE
+        counts = unp_mask.reshape(grid.n_blocks, -1).sum(axis=1)
+        offsets = np.concatenate(([0], np.cumsum(counts)))
+        if offsets[-1] != unpred.size:
+            raise ValueError("corrupt payload: unpredictable-value stream size mismatch")
 
-                pred = self._regression.predict(block_shape, RegressionCoefficients(coef))
-                from repro.quantization.linear import dequantize_prediction_errors
+        n_regression = int(np.count_nonzero(flags == FLAG_REGRESSION))
+        if len(coefs) != n_regression * n_coef:
+            raise ValueError("corrupt payload: regression coefficient stream size mismatch")
 
-                blocks[b] = dequantize_prediction_errors(block_codes, pred, block_unpred,
-                                                         abs_eb, num_bins)
+        lorenzo_idx = np.flatnonzero(flags == FLAG_LORENZO)
+        if lorenzo_idx.size:
+            if scalar:
+                for b in lorenzo_idx:
+                    blocks[b] = _sequential_lorenzo_decode(
+                        codes_all[b], unpred[offsets[b]:offsets[b + 1]], abs_eb, num_bins)
             else:
-                blocks[b] = _sequential_lorenzo_decode(block_codes, block_unpred, abs_eb,
-                                                       num_bins)
+                sel_mask = unp_mask[lorenzo_idx]
+                uvals = np.zeros((lorenzo_idx.size,) + block_shape, dtype=np.float64)
+                if counts[lorenzo_idx].sum():
+                    # Boolean assignment scatters in C order, matching the
+                    # order the encoder emitted the per-block literals.
+                    uvals[sel_mask] = np.concatenate(
+                        [unpred[offsets[b]:offsets[b + 1]] for b in lorenzo_idx])
+                blocks[lorenzo_idx] = _lorenzo_decode_blocks(
+                    codes_all[lorenzo_idx], uvals, sel_mask, abs_eb, num_bins)
+
+        coef_pos = 0
+        for b in np.flatnonzero(flags == FLAG_REGRESSION):
+            coef = coefs[coef_pos:coef_pos + n_coef]
+            coef_pos += n_coef
+            from repro.predictors.regression import RegressionCoefficients
+
+            pred = self._regression.predict(block_shape, RegressionCoefficients(coef))
+            from repro.quantization.linear import dequantize_prediction_errors
+
+            blocks[b] = dequantize_prediction_errors(
+                codes_all[b], pred, unpred[offsets[b]:offsets[b + 1]], abs_eb, num_bins)
         return reassemble_blocks(blocks, grid)

@@ -22,7 +22,7 @@ from repro.data.catalog import (
     load_training_blocks,
     train_test_snapshots,
 )
-from repro.data.loader import load_f32, save_f32
+from repro.data.loader import load_f32, map_f32, save_f32
 
 __all__ = [
     "gaussian_random_field",
@@ -35,5 +35,6 @@ __all__ = [
     "load_training_blocks",
     "train_test_snapshots",
     "load_f32",
+    "map_f32",
     "save_f32",
 ]

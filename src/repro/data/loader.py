@@ -28,6 +28,24 @@ def load_f32(path: PathLike, shape: Sequence[int]) -> np.ndarray:
     return arr.reshape(shape)
 
 
+def map_f32(path: PathLike, shape: Sequence[int]) -> np.ndarray:
+    """Memory-map a raw little-endian float32 field (out-of-core reads).
+
+    The chunked compression pipeline slices row slabs out of the returned
+    ``numpy.memmap``, so fields larger than RAM stream through without ever
+    being materialized whole.
+    """
+    shape = tuple(int(s) for s in shape)
+    expected = int(np.prod(shape)) * 4
+    actual = os.path.getsize(path)
+    if actual != expected:
+        raise ValueError(
+            f"file {path!r} holds {actual // 4} float32 values, "
+            f"expected {expected // 4} for shape {shape}"
+        )
+    return np.memmap(path, dtype="<f4", mode="r", shape=shape)
+
+
 def save_f64(path: PathLike, data: np.ndarray) -> None:
     """Write a field as raw little-endian float64."""
     np.ascontiguousarray(np.asarray(data), dtype="<f8").tofile(path)

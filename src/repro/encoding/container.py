@@ -18,7 +18,7 @@ from __future__ import annotations
 import json
 import struct
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Mapping, Tuple
+from typing import Dict, Iterable, Mapping, Optional, Tuple
 
 import numpy as np
 
@@ -211,10 +211,15 @@ class Archive:
             raise ValueError("corrupt archive: bad magic (not a repro archive)")
         raw, pos = take(4, _U16.size, "version field")
         (version,) = _U16.unpack(raw)
+        if version == CHUNKED_ARCHIVE_VERSION:
+            raise ValueError(
+                "this is a chunked (multi-chunk) archive; parse it with "
+                "ChunkedIndex.from_bytes or decode it via repro.decompress"
+            )
         if version != ARCHIVE_VERSION:
             raise ValueError(
                 f"unsupported archive version {version} (this build reads "
-                f"version {ARCHIVE_VERSION})"
+                f"versions {ARCHIVE_VERSION} and {CHUNKED_ARCHIVE_VERSION})"
             )
         raw, pos = take(pos, _LEN.size, "header length")
         (hlen,) = _LEN.unpack(raw)
@@ -274,3 +279,210 @@ class Archive:
         return cls(codec=codec, shape=shape, dtype=dtype, bound_mode=bound_mode,
                    bound_value=bound_value, payload=payload, meta=meta, extra=extra,
                    version=version)
+
+
+# ---------------------------------------------------------------------------
+# Chunked (multi-chunk) archive envelope — format version 2
+# ---------------------------------------------------------------------------
+
+CHUNKED_ARCHIVE_VERSION = 2
+
+# Layout (little endian):
+#   magic "RPRA" | u16 version=2 | u32 header_len | header JSON | chunk blobs
+# The header JSON carries {codec, shape, dtype, bound: {mode, value}, meta,
+# chunks: {axis, starts, offsets, lengths, crcs}}.  Each chunk blob is a
+# complete version-1 archive (its own header, CRC and error-bound record), and
+# the index table sits entirely in the front header: ``offsets[i]`` /
+# ``lengths[i]`` locate chunk ``i`` relative to the end of the header and
+# ``crcs[i]`` is the CRC-32 of the whole chunk blob, so any chunk can be
+# located, integrity-checked and decoded independently and in any order
+# without touching the others.  ``starts`` are the chunk boundaries along
+# ``axis`` (``starts[i]:starts[i+1]`` is chunk ``i``'s slab of the full
+# field); a 0-d field is a single chunk with ``starts == [0, 1]``.
+
+
+def archive_version(data: bytes) -> int:
+    """Format version of an archive blob (1 = single-shot, 2 = chunked)."""
+    data = bytes(data[: 4 + _U16.size])
+    if len(data) < 4 + _U16.size or data[:4] != ARCHIVE_MAGIC:
+        raise ValueError("corrupt archive: bad magic (not a repro archive)")
+    (version,) = _U16.unpack_from(data, 4)
+    return version
+
+
+def is_chunked_archive(data: bytes) -> bool:
+    """True when ``data`` is a version-2 (multi-chunk) archive."""
+    try:
+        return archive_version(data) == CHUNKED_ARCHIVE_VERSION
+    except ValueError:
+        return False
+
+
+@dataclass
+class ChunkedIndex:
+    """The parsed front matter of a chunked archive: everything but the chunks.
+
+    Mirrors :class:`Archive`'s header attributes (``codec`` / ``shape`` /
+    ``dtype`` / ``bound_mode`` / ``bound_value`` / ``meta``) so inspection code
+    can treat both formats uniformly, and adds the chunk index table.
+    """
+
+    codec: str
+    shape: Tuple[int, ...]
+    dtype: str
+    bound_mode: str
+    bound_value: float
+    axis: int
+    starts: Tuple[int, ...]      # chunk boundaries along ``axis``, len n_chunks+1
+    offsets: Tuple[int, ...]     # chunk byte offsets relative to ``data_start``
+    lengths: Tuple[int, ...]
+    crcs: Tuple[int, ...]
+    data_start: int              # absolute byte offset of the first chunk blob
+    meta: dict = field(default_factory=dict)
+    version: int = CHUNKED_ARCHIVE_VERSION
+
+    @property
+    def n_chunks(self) -> int:
+        return len(self.offsets)
+
+    @property
+    def n_points(self) -> int:
+        return int(np.prod(self.shape, dtype=np.int64)) if self.shape else 1
+
+    def chunk_slice(self, i: int) -> slice:
+        """The slab of the full field covered by chunk ``i`` (along ``axis``)."""
+        return slice(self.starts[i], self.starts[i + 1])
+
+    def chunk_shape(self, i: int) -> Tuple[int, ...]:
+        if not self.shape:  # 0-d field: one chunk holding the scalar itself
+            return ()
+        rows = self.starts[i + 1] - self.starts[i]
+        return self.shape[:self.axis] + (rows,) + self.shape[self.axis + 1:]
+
+    def chunk_bytes(self, blob: bytes, i: int) -> bytes:
+        """Slice chunk ``i``'s archive out of the full blob, CRC-checked."""
+        import zlib
+
+        if not 0 <= i < self.n_chunks:
+            raise IndexError(f"chunk index {i} out of range ({self.n_chunks} chunks)")
+        start = self.data_start + self.offsets[i]
+        end = start + self.lengths[i]
+        if end > len(blob):
+            raise ValueError(f"corrupt archive: truncated chunk {i}")
+        chunk = bytes(blob[start:end])
+        if zlib.crc32(chunk) != self.crcs[i]:
+            raise ValueError(f"corrupt archive: chunk {i} checksum mismatch")
+        return chunk
+
+    # -------------------------------------------------------------- parse
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "ChunkedIndex":
+        data = bytes(data)
+        if len(data) < 4 or data[:4] != ARCHIVE_MAGIC:
+            raise ValueError("corrupt archive: bad magic (not a repro archive)")
+        if len(data) < 4 + _U16.size + _LEN.size:
+            raise ValueError("corrupt archive: truncated chunked header")
+        (version,) = _U16.unpack_from(data, 4)
+        if version != CHUNKED_ARCHIVE_VERSION:
+            raise ValueError(
+                f"not a chunked archive (version {version}); use Archive.from_bytes"
+            )
+        pos = 4 + _U16.size
+        (hlen,) = _LEN.unpack_from(data, pos)
+        pos += _LEN.size
+        if pos + hlen > len(data):
+            raise ValueError("corrupt archive: truncated chunked header")
+        try:
+            header = json.loads(data[pos:pos + hlen].decode())
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ValueError(f"corrupt archive: unreadable header ({exc})") from None
+        data_start = pos + hlen
+        if not isinstance(header, dict):
+            raise ValueError("corrupt archive: header is not a JSON object")
+        try:
+            codec = str(header["codec"])
+            shape = tuple(int(s) for s in header["shape"])
+            dtype = str(header["dtype"])
+            bound = header["bound"]
+            bound_mode = str(bound["mode"])
+            bound_value = float(bound["value"])
+            meta = header.get("meta", {})
+            chunks = header["chunks"]
+            axis = int(chunks["axis"])
+            starts = tuple(int(s) for s in chunks["starts"])
+            offsets = tuple(int(o) for o in chunks["offsets"])
+            lengths = tuple(int(n) for n in chunks["lengths"])
+            crcs = tuple(int(c) for c in chunks["crcs"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ValueError(f"corrupt archive: malformed header ({exc})") from None
+        if not isinstance(meta, dict):
+            raise ValueError("corrupt archive: header meta is not a JSON object")
+        n = len(offsets)
+        if n == 0 or len(lengths) != n or len(crcs) != n or len(starts) != n + 1:
+            raise ValueError("corrupt archive: inconsistent chunk index table")
+        if axis != 0:
+            # The writer only emits axis-0 slabs; anything else would be
+            # silently misplaced by the axis-0 reassembly paths.
+            raise ValueError(
+                f"unsupported chunk axis {axis} (this build reads axis-0 "
+                f"chunked archives)"
+            )
+        if any(starts[i] > starts[i + 1] for i in range(n)) or starts[0] != 0:
+            raise ValueError("corrupt archive: non-monotonic chunk starts")
+        expected_rows = shape[axis] if shape else 1
+        if starts[-1] != expected_rows:
+            raise ValueError("corrupt archive: chunk starts do not cover the field")
+        end = 0
+        for i in range(n):
+            if offsets[i] != end or lengths[i] < 0:
+                raise ValueError("corrupt archive: non-contiguous chunk offsets")
+            end += lengths[i]
+        if data_start + end != len(data):
+            missing = data_start + end - len(data)
+            if missing > 0:
+                raise ValueError("corrupt archive: truncated chunk data")
+            raise ValueError(f"corrupt archive: {-missing} trailing bytes")
+        return cls(codec=codec, shape=shape, dtype=dtype, bound_mode=bound_mode,
+                   bound_value=bound_value, axis=axis, starts=starts, offsets=offsets,
+                   lengths=lengths, crcs=crcs, data_start=data_start, meta=meta,
+                   version=version)
+
+
+def build_chunked_archive(*, codec: str, shape: Tuple[int, ...], dtype: str,
+                          bound_mode: str, bound_value: float, axis: int,
+                          starts: Iterable[int], chunk_blobs: Iterable[bytes],
+                          meta: Optional[dict] = None) -> bytes:
+    """Assemble a version-2 chunked archive from per-chunk version-1 blobs."""
+    import zlib
+
+    chunk_blobs = [bytes(b) for b in chunk_blobs]
+    starts = [int(s) for s in starts]
+    if not chunk_blobs:
+        raise ValueError("a chunked archive needs at least one chunk")
+    if len(starts) != len(chunk_blobs) + 1:
+        raise ValueError("starts must have exactly one more entry than chunk_blobs")
+    offsets, lengths, crcs = [], [], []
+    pos = 0
+    for blob in chunk_blobs:
+        offsets.append(pos)
+        lengths.append(len(blob))
+        crcs.append(zlib.crc32(blob))
+        pos += len(blob)
+    header = {
+        "codec": str(codec),
+        "shape": [int(s) for s in shape],
+        "dtype": str(dtype),
+        "bound": {"mode": str(bound_mode), "value": float(bound_value)},
+        "meta": meta or {},
+        "chunks": {"axis": int(axis), "starts": starts, "offsets": offsets,
+                   "lengths": lengths, "crcs": crcs},
+    }
+    header_bytes = json.dumps(header, separators=(",", ":"), sort_keys=True).encode()
+    out = bytearray()
+    out += ARCHIVE_MAGIC
+    out += _U16.pack(CHUNKED_ARCHIVE_VERSION)
+    out += _LEN.pack(len(header_bytes))
+    out += header_bytes
+    for blob in chunk_blobs:
+        out += blob
+    return bytes(out)

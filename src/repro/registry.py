@@ -39,6 +39,9 @@ class CompressorSpec:
     error_bounded: bool = True
     requires_model: bool = False
     accepts_model: bool = False
+    # True for codecs whose reconstruction is exact (bit-for-bit): they accept
+    # any value, including NaN/Inf, so the facade's non-finite guard skips them.
+    exact: bool = False
     # Rebuilds a decode-ready compressor from an archive's codec-private
     # metadata + binary sections; defaults to ``factory.from_archive_state``
     # when available, else ``factory(**opts)``.
@@ -55,7 +58,7 @@ class CompressorSpec:
 def register_compressor(name: str, factory: Optional[Callable[..., Any]] = None, *,
                         description: str = "", aliases: Tuple[str, ...] = (),
                         error_bounded: bool = True, requires_model: bool = False,
-                        accepts_model: bool = False,
+                        accepts_model: bool = False, exact: bool = False,
                         restorer: Optional[Callable[..., Any]] = None,
                         cls: Optional[type] = None):
     """Register a compressor factory under ``name``.
@@ -77,7 +80,8 @@ def register_compressor(name: str, factory: Optional[Callable[..., Any]] = None,
                 name=key, factory=target, description=description,
                 aliases=tuple(dict.fromkeys(_normalize(a) for a in aliases)),
                 error_bounded=error_bounded, requires_model=requires_model,
-                accepts_model=accepts_model or requires_model, restorer=restorer,
+                accepts_model=accepts_model or requires_model, exact=exact,
+                restorer=restorer,
             )
             _REGISTRY[key] = spec
             for alias in spec.aliases:

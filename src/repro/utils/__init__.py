@@ -8,7 +8,7 @@ from repro.utils.validation import (
     ensure_positive,
     value_range,
 )
-from repro.utils.parallel import parallel_map
+from repro.utils.parallel import parallel_imap, parallel_map
 
 __all__ = [
     "as_rng",
@@ -19,5 +19,6 @@ __all__ = [
     "ensure_float_array",
     "ensure_positive",
     "value_range",
+    "parallel_imap",
     "parallel_map",
 ]

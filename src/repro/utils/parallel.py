@@ -1,23 +1,66 @@
-"""A small, dependency-free parallel map.
+"""A small, dependency-free parallel map (eager and streaming variants).
 
-Block-wise compression is embarrassingly parallel across blocks.  The library
+Chunk-wise compression is embarrassingly parallel across chunks.  The library
 keeps the default single-process (NumPy kernels already use optimized BLAS and
-the block work is memory-bound), but exposes :func:`parallel_map` so examples
-and benchmarks can opt into process-level parallelism for large inputs.
+the block work is memory-bound), but exposes :func:`parallel_map` and the
+generator-safe :func:`parallel_imap` so the chunked pipeline, examples and
+benchmarks can opt into process-level parallelism for large inputs.
+
+:func:`parallel_imap` is the out-of-core building block: it consumes its input
+lazily and keeps at most ``max_pending`` items in flight, so a stream of chunks
+sliced from a memory-mapped file never materializes in RAM all at once, while
+results still come back in input order.
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
-from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
+from collections import deque
+from typing import Callable, Iterable, Iterator, List, Optional, TypeVar
 
 T = TypeVar("T")
 R = TypeVar("R")
 
 
+def parallel_imap(
+    func: Callable[[T], R],
+    items: Iterable[T],
+    workers: Optional[int] = None,
+    max_pending: Optional[int] = None,
+) -> Iterator[R]:
+    """Yield ``func(item)`` for each item, in input order, optionally in parallel.
+
+    ``workers=None`` or ``workers<=1`` runs serially and fully lazily
+    (deterministic and picklability-free).  Otherwise a ``spawn``-based process
+    pool is used and ``items`` is consumed only as capacity frees up: at most
+    ``max_pending`` (default ``2 * workers``) items — queued, running *or*
+    finished-but-unconsumed — exist at once, so memory stays bounded even when
+    a slow head-of-line item lets later results finish first.  ``func`` must
+    be picklable (module-level) when ``workers > 1``.  A worker exception
+    re-raises in the consumer at the failing item's position.
+    """
+    if workers is None or workers <= 1:
+        for item in items:
+            yield func(item)
+        return
+    max_pending = max(1, max_pending if max_pending is not None else 2 * workers)
+    with mp.get_context("spawn").Pool(processes=workers) as pool:
+        pending: deque = deque()
+        for item in items:
+            if len(pending) >= max_pending:
+                # Window full: block on the oldest result before submitting
+                # more — backpressure is tied to consumption, not completion.
+                yield pending.popleft().get()
+            pending.append(pool.apply_async(func, (item,)))
+            while pending and pending[0].ready():
+                yield pending.popleft().get()
+        while pending:
+            yield pending.popleft().get()
+
+
 def parallel_map(
     func: Callable[[T], R],
-    items: Sequence[T],
+    items: Iterable[T],
     workers: Optional[int] = None,
     chunksize: int = 1,
 ) -> List[R]:
@@ -25,7 +68,9 @@ def parallel_map(
 
     ``workers=None`` or ``workers<=1`` runs serially (deterministic and
     picklability-free); otherwise a ``multiprocessing`` pool is used.  Results
-    preserve input order.
+    preserve input order.  Unlike :func:`parallel_imap` this materializes both
+    the input and the output as lists; use the streaming variant when the items
+    should not all reside in memory at once.
     """
     items = list(items)
     if workers is None or workers <= 1 or len(items) <= 1:

@@ -1,0 +1,148 @@
+"""Edge-case behaviour of the facade: NaN/Inf, constant, all-zero, 0-d fields.
+
+The contract these tests pin down:
+
+* Error-bounded codecs **refuse non-finite data with a clear ValueError**
+  (document-and-raise) — a silent bound violation is never acceptable, and an
+  error bound on NaN/Inf is undefined.  The check fires in the facade, before
+  any transform, so ``PtwRel``'s log transform cannot NaN-poison a payload.
+* The exact ``lossless`` codec accepts anything, NaN payloads included, and
+  reconstructs bit-for-bit.
+* Constant fields have zero value range; ``Rel`` falls back to treating the
+  bound value as absolute (the long-documented convention of
+  ``absolute_error_bound``), and reconstruction error stays within it.
+* All-zero fields reconstruct exactly under ``PtwRel`` (the zero mask) and
+  within the fallback bound under ``Rel``.
+* 0-d arrays roundtrip with their shape — the header keeps ``()`` even though
+  codecs see a length-1 vector.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro import Abs, PtwRel, Rel
+from repro.api import compress_chunked
+
+BOUNDED = ("sz21", "zfp", "szauto", "szinterp")
+EB = 1e-2
+
+
+def _nan_field():
+    data = np.linspace(0.0, 1.0, 64).reshape(8, 8)
+    data[2, 3] = np.nan
+    return data
+
+
+def _inf_field():
+    data = np.linspace(0.0, 1.0, 64).reshape(8, 8)
+    data[1, 1] = np.inf
+    return data
+
+
+class TestNonFinite:
+    @pytest.mark.parametrize("codec", BOUNDED)
+    @pytest.mark.parametrize("field", [_nan_field, _inf_field])
+    def test_bounded_codecs_refuse(self, codec, field):
+        with pytest.raises(ValueError, match="non-finite"):
+            repro.compress(field(), codec=codec, bound=Rel(EB))
+
+    @pytest.mark.parametrize("bound", [Rel(EB), Abs(EB), PtwRel(EB)])
+    def test_every_bound_mode_raises_before_transforming(self, bound):
+        # PtwRel used to reach the log transform before the codec noticed.
+        with pytest.raises(ValueError, match="non-finite"):
+            repro.compress(_nan_field(), codec="sz21", bound=bound)
+
+    def test_chunked_refuses_nonfinite(self):
+        with pytest.raises(ValueError, match="NaN|non-finite"):
+            compress_chunked(_nan_field(), codec="sz21", bound=Rel(EB), chunk_size=16)
+
+    @pytest.mark.parametrize("field", [_nan_field, _inf_field])
+    def test_lossless_is_exact_on_nonfinite(self, field):
+        data = field()
+        recon = repro.decompress(repro.compress(data, codec="lossless"))
+        assert recon.dtype == data.dtype
+        # bitwise, including the NaN payload
+        assert np.array_equal(data.view(np.uint64), recon.view(np.uint64))
+
+    def test_chunked_lossless_is_exact_on_nonfinite(self):
+        data = _nan_field()
+        blob = compress_chunked(data, codec="lossless", chunk_size=16)
+        recon = repro.decompress(blob)
+        assert np.array_equal(data.view(np.uint64), recon.view(np.uint64))
+
+
+class TestConstantFields:
+    @pytest.mark.parametrize("codec", BOUNDED)
+    @pytest.mark.parametrize("value", [3.25, -2.5, 1e-30])
+    def test_rel_fallback_bound_holds(self, codec, value):
+        """vrange == 0: Rel's value acts as an absolute bound (documented)."""
+        data = np.full((8, 8), value)
+        recon = repro.decompress(repro.compress(data, codec=codec, bound=Rel(EB)))
+        assert float(np.max(np.abs(data - recon))) <= EB
+
+    @pytest.mark.parametrize("codec", BOUNDED)
+    def test_ptw_rel_on_constant(self, codec):
+        data = np.full((8, 8), -2.5)
+        recon = repro.decompress(repro.compress(data, codec=codec, bound=PtwRel(EB)))
+        assert np.all(np.abs(data - recon) <= EB * np.abs(data) * (1 + 1e-12))
+
+    @pytest.mark.parametrize("codec", BOUNDED)
+    def test_chunked_constant(self, codec):
+        data = np.full((10, 6), 7.5)
+        blob = compress_chunked(data, codec=codec, bound=Rel(EB), chunk_size=12)
+        assert float(np.max(np.abs(data - repro.decompress(blob)))) <= EB
+
+
+class TestAllZero:
+    @pytest.mark.parametrize("codec", BOUNDED)
+    def test_rel(self, codec):
+        data = np.zeros((8, 8))
+        recon = repro.decompress(repro.compress(data, codec=codec, bound=Rel(EB)))
+        assert float(np.max(np.abs(recon))) <= EB
+
+    @pytest.mark.parametrize("codec", BOUNDED)
+    def test_ptw_rel_is_exact(self, codec):
+        """eps * |0| = 0: the zero mask must reconstruct zeros exactly."""
+        data = np.zeros((8, 8))
+        recon = repro.decompress(repro.compress(data, codec=codec, bound=PtwRel(EB)))
+        assert np.all(recon == 0.0)
+
+
+class TestZeroD:
+    @pytest.mark.parametrize("codec", BOUNDED + ("lossless",))
+    def test_roundtrip_keeps_scalar_shape(self, codec):
+        data = np.array(3.5)
+        blob = repro.compress(data, codec=codec, bound=Rel(EB))
+        recon = repro.decompress(blob)
+        assert recon.shape == ()
+        assert abs(float(recon) - 3.5) <= EB
+        assert repro.read_header(blob).shape == ()
+
+    def test_chunked_scalar(self):
+        blob = compress_chunked(np.array(-1.25), codec="sz21", bound=Rel(EB))
+        recon = repro.decompress(blob)
+        assert recon.shape == ()
+        assert abs(float(recon) + 1.25) <= EB
+
+
+class TestOtherEdges:
+    def test_empty_array_raises(self):
+        with pytest.raises(ValueError):
+            repro.compress(np.zeros((0, 4)), codec="sz21", bound=Rel(EB))
+        with pytest.raises(ValueError):
+            compress_chunked(np.zeros((0, 4)), codec="sz21", bound=Rel(EB))
+
+    def test_integer_input_lossless_preserves_dtype(self):
+        data = np.arange(64, dtype=np.int64).reshape(8, 8)
+        recon = repro.decompress(repro.compress(data, codec="lossless"))
+        assert recon.dtype == np.int64
+        assert np.array_equal(data, recon)
+
+    def test_integer_input_bounded_codec_ok(self):
+        data = np.arange(64).reshape(8, 8)
+        recon = repro.decompress(repro.compress(data, codec="sz21", bound=Rel(EB)))
+        vrange = 63.0
+        assert float(np.max(np.abs(data - recon))) <= EB * vrange

@@ -1,0 +1,123 @@
+"""Bit-exactness regression: sz21's hyperplane-vectorized Lorenzo decode.
+
+The per-element ``np.ndindex`` decode loop was replaced by a batched
+hyperplane pass (`_lorenzo_decode_blocks`).  The scalar path is kept as the
+reference formulation; these tests pin the vectorized path to it **bit for
+bit** (uint64 view comparison, not allclose) at both the block level and the
+full-payload level, across dimensionalities, odd shapes and unpredictable
+densities.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.compressors.sz21 import (
+    SZ21Compressor,
+    _lorenzo_decode_blocks,
+    _sequential_lorenzo_decode,
+    _sequential_lorenzo_encode,
+)
+from repro.quantization.linear import UNPREDICTABLE_CODE
+
+
+def _bitwise_equal(a: np.ndarray, b: np.ndarray) -> bool:
+    return np.array_equal(np.asarray(a).view(np.uint64), np.asarray(b).view(np.uint64))
+
+
+@pytest.mark.parametrize("shape,num_bins", [
+    ((16,), 65536), ((16,), 8),          # 1-d, none/many unpredictables
+    ((16, 16), 65536), ((16, 16), 8),    # 2-d
+    ((8, 8, 8), 65536), ((8, 8, 8), 8),  # 3-d
+    ((5,), 16), ((3, 7), 16), ((2, 3, 5), 16), ((1, 1), 16), ((1, 1, 1), 65536),
+])
+def test_block_decode_bit_exact(shape, num_bins):
+    rng = np.random.default_rng(sum(shape) * num_bins % 997)
+    error_bound = 0.01
+    blocks = [rng.standard_normal(shape).cumsum(axis=0) * scale
+              for scale in (1.0, 3.0, 0.25, 10.0)]
+    encoded = [_sequential_lorenzo_encode(b, error_bound, num_bins) for b in blocks]
+    codes = np.stack([e[0] for e in encoded])
+    is_unp = codes == UNPREDICTABLE_CODE
+    uvals = np.zeros(codes.shape, dtype=np.float64)
+    if is_unp.any():
+        uvals[is_unp] = np.concatenate([np.asarray(e[1], dtype=np.float64)
+                                        for e in encoded])
+    vectorized = _lorenzo_decode_blocks(codes, uvals, is_unp, error_bound, num_bins)
+    reference = np.stack([
+        _sequential_lorenzo_decode(e[0], np.asarray(e[1]), error_bound, num_bins)
+        for e in encoded])
+    assert _bitwise_equal(vectorized, reference)
+
+
+@pytest.mark.parametrize("shape", [(200,), (96, 128), (33, 17), (24, 24, 24),
+                                   (7, 11, 13)])
+def test_payload_decode_bit_exact(shape):
+    """Full pipeline: vectorized decompress == scalar decompress, bit for bit,
+    on payloads mixing Lorenzo and regression blocks."""
+    rng = np.random.default_rng(len(shape))
+    data = rng.standard_normal(shape).cumsum(axis=0)
+    comp = SZ21Compressor()
+    payload = comp.compress(data, 1e-3)
+    fast = comp.decompress(payload)
+    slow = comp.decompress(payload, scalar=True)
+    assert _bitwise_equal(fast, slow)
+    vrange = float(data.max() - data.min())
+    assert float(np.max(np.abs(data - fast))) <= 1e-3 * vrange
+
+
+def test_payload_decode_bit_exact_many_unpredictables():
+    """Tiny bin count forces the unpredictable path everywhere."""
+    rng = np.random.default_rng(99)
+    data = rng.standard_normal((40, 40)).cumsum(axis=0)
+    comp = SZ21Compressor(num_bins=4)
+    payload = comp.compress(data, 1e-4)
+    assert _bitwise_equal(comp.decompress(payload), comp.decompress(payload, scalar=True))
+
+
+def test_stream_size_mismatch_raises():
+    comp = SZ21Compressor()
+    data = np.random.default_rng(0).standard_normal((32, 32)).cumsum(axis=0)
+    payload = comp.compress(data, 1e-3)
+    from repro.encoding.container import ByteContainer
+
+    container = ByteContainer.from_bytes(payload)
+    # Drop one flag symbol: flags/codes no longer match the grid.
+    flags = comp._entropy.decode(container["flags"])
+    container["flags"] = comp._entropy.encode(flags[:-1])
+    with pytest.raises(ValueError, match="corrupt"):
+        comp.decompress(container.to_bytes())
+
+
+def test_unknown_predictor_flag_raises():
+    """A flag outside {lorenzo, regression} must raise, not silently decode
+    the block as zeros."""
+    comp = SZ21Compressor()
+    data = np.random.default_rng(1).standard_normal((32, 32)).cumsum(axis=0)
+    payload = comp.compress(data, 1e-3)
+    from repro.encoding.container import ByteContainer
+
+    container = ByteContainer.from_bytes(payload)
+    flags = comp._entropy.decode(container["flags"])
+    flags[0] = 7
+    container["flags"] = comp._entropy.encode(flags)
+    with pytest.raises(ValueError, match="unknown block predictor flag"):
+        comp.decompress(container.to_bytes())
+
+
+def test_truncated_coefficient_stream_raises():
+    comp = SZ21Compressor()
+    rng = np.random.default_rng(2)
+    # locally-linear field: the regression predictor wins on most blocks
+    data = (np.add.outer(np.linspace(0, 10, 64), np.linspace(0, 5, 64))
+            + 0.01 * rng.standard_normal((64, 64)))
+    payload = comp.compress(data, 1e-3)
+    from repro.encoding.container import ByteContainer
+
+    container = ByteContainer.from_bytes(payload)
+    assert "coefs" in container, "field must select some regression blocks"
+    coefs = np.frombuffer(comp._backend.decompress(container["coefs"]), dtype=np.float64)
+    container["coefs"] = comp._backend.compress(coefs[:-1].tobytes())
+    with pytest.raises(ValueError, match="corrupt payload: regression coefficient"):
+        comp.decompress(container.to_bytes())
