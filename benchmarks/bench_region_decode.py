@@ -1,0 +1,140 @@
+"""Random-access region decode benchmark: O(region) bytes, not O(archive).
+
+PR 3's chunked format could only decode archives front-to-back; the version-3
+N-d chunk grid stores a row-major tile index in the front header, so
+``repro.read_region`` seeks to and decodes **only** the tiles a region
+intersects.  This benchmark quantifies that on a 3-d field:
+
+* compress the field into an on-disk grid archive (``chunk_shape`` tiles),
+* time a full ``repro.decompress`` of the whole archive,
+* time ``repro.read_region`` for a small sub-cube read **from the path**
+  (seek-based I/O), and
+* account the bytes touched: front header + the intersecting tiles' index
+  lengths, versus the whole file for the full decode.
+
+The region read must win on both axes — wall clock (it decodes a handful of
+tiles instead of all of them) and I/O (it never reads the rest of the file).
+``--smoke`` runs a CI-sized field and asserts a >= 5x wall-clock speedup and
+a <= 25% bytes-touched fraction for a one-tile region, plus correctness: the
+region equals the same slice of the full reconstruction bit-for-bit.
+
+Run standalone with ``python benchmarks/bench_region_decode.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+if __package__ in (None, ""):  # standalone execution
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1]))
+
+import repro
+from repro import api
+from repro.bounds import Rel
+
+BOUND = Rel(1e-3)
+CODEC = "szinterp"  # fully vectorized error-bounded codec: the fair baseline
+
+# Full run: 128^3 float64 field (16 MB), 32^3 tiles -> 4x4x4 = 64 tiles.
+FULL_SIDE, FULL_TILE = 128, 32
+FULL_REGION = (slice(40, 72), slice(40, 72), slice(40, 72))  # 8 tiles
+
+# Smoke run: 48^3 field, 16^3 tiles -> 27 tiles; region inside one tile.
+SMOKE_SIDE, SMOKE_TILE = 48, 16
+SMOKE_REGION = (slice(18, 30), slice(18, 30), slice(18, 30))  # 1 tile
+
+
+def _field(side: int, seed: int = 0) -> np.ndarray:
+    """A smooth 3-d field (cumsum of white noise, SDRBench-like)."""
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal((side, side, side)).cumsum(axis=0)
+
+
+def _time_best(fn, repeats: int):
+    best, result = np.inf, None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def run_region_bench(side: int, tile: int, region, repeats: int = 3,
+                     workdir: Path | None = None) -> dict:
+    """Time full decode vs region decode on an on-disk grid archive."""
+    data = _field(side)
+    blob = api.compress_chunked(data, codec=CODEC, bound=BOUND,
+                                chunk_shape=(tile, tile, tile))
+    with tempfile.TemporaryDirectory(dir=workdir) as tmp:
+        path = Path(tmp) / "field.rpra"
+        path.write_bytes(blob)
+
+        full_s, full = _time_best(
+            lambda: repro.decompress(path.read_bytes()), repeats)
+        region_s, piece = _time_best(
+            lambda: repro.read_region(str(path), region), repeats)
+
+        index = repro.read_header(str(path))
+
+    # Correctness: same tiles decode to the same bits either way, and the
+    # bound holds against the original.
+    if not np.array_equal(piece, full[region]):
+        raise AssertionError("region decode differs from the full reconstruction")
+    vrange = float(data.max() - data.min())
+    err = float(np.max(np.abs(data[region] - piece)))
+    if err > BOUND.value * vrange * (1 + 1e-12):
+        raise AssertionError(f"region violates the bound: {err} > "
+                             f"{BOUND.value * vrange}")
+
+    # I/O accounting straight from the index: a region read touches the front
+    # header plus the intersecting tiles; the full decode reads the file.
+    bounds = api.normalize_region(region, index.shape)
+    tiles = index.region_tiles(bounds)
+    touched = index.data_start + sum(index.lengths[i] for i in tiles)
+    return {
+        "field": f"{side}^3 float64",
+        "tiles": f"{tile}^3 x {index.n_tiles}",
+        "region_shape": tuple(s.stop - s.start for s in region),
+        "tiles_decoded": f"{len(tiles)}/{index.n_tiles}",
+        "full_decode_s": round(full_s, 4),
+        "region_decode_s": round(region_s, 4),
+        "speedup": round(full_s / region_s, 2),
+        "archive_bytes": len(blob),
+        "bytes_touched": touched,
+        "bytes_fraction": round(touched / len(blob), 4),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="small CI-sized run with hard speedup/IO assertions")
+    args = parser.parse_args(argv)
+    if args.smoke:
+        row = run_region_bench(SMOKE_SIDE, SMOKE_TILE, SMOKE_REGION, repeats=3)
+    else:
+        row = run_region_bench(FULL_SIDE, FULL_TILE, FULL_REGION, repeats=3)
+    print(" ".join(f"{k}={v}" for k, v in row.items()))
+    if args.smoke:
+        if row["speedup"] < 5.0:
+            raise AssertionError(
+                f"region decode speedup {row['speedup']}x < 5x: random access "
+                f"is not paying for itself")
+        if row["bytes_fraction"] > 0.25:
+            raise AssertionError(
+                f"region read touched {row['bytes_fraction']:.0%} of the "
+                f"archive; expected O(region) I/O")
+    print("region == full[region] bit-for-bit; bound verified; "
+          "I/O is header + intersecting tiles only")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -49,7 +49,10 @@ from repro.api import (
     compress_chunked,
     decompress,
     iter_decompressed_chunks,
+    iter_region_tiles,
+    parse_region,
     read_header,
+    read_region,
     roundtrip,
 )
 from repro.metrics import (
@@ -74,6 +77,9 @@ __all__ = [
     "compress_chunked",
     "decompress",
     "iter_decompressed_chunks",
+    "iter_region_tiles",
+    "parse_region",
+    "read_region",
     "roundtrip",
     "read_header",
     "ErrorBound",

@@ -27,8 +27,10 @@ through the per-class ``decompress`` — the archive layer is additive.
 
 from __future__ import annotations
 
+import os
+from operator import index as _as_index
 from pathlib import Path
-from typing import Iterator, Optional, Tuple, Union
+from typing import Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -36,11 +38,21 @@ from repro.bounds import MODE_PTW_REL, MODE_REL, Abs, ErrorBound, as_bound
 from repro.compressors.base import CompressorResult
 from repro.core.aesz import output_dtype_and_bound
 from repro.encoding.container import (
+    ARCHIVE_VERSION,
+    CHUNKED_ARCHIVE_VERSION,
+    FRONT_PREFIX,
+    GRID_ARCHIVE_VERSION,
     Archive,
     ChunkedIndex,
+    GridIndex,
     build_chunked_archive,
+    build_grid_archive,
+    front_size,
+    grid_shape_of,
     is_archive,
     is_chunked_archive,
+    is_grid_archive,
+    parse_front,
 )
 from repro.encoding.lossless import get_backend
 from repro.metrics.error import max_abs_error, psnr
@@ -371,8 +383,35 @@ def _decompress_chunk_job(job) -> np.ndarray:
                                codec_options=codec_options)
 
 
+def _normalize_chunk_shape(chunk_shape, shape: Tuple[int, ...]) -> Tuple[int, ...]:
+    """Validate a per-axis tile shape against the field shape.
+
+    A bare int applies to every axis; ``None`` / ``-1`` entries mean "the full
+    axis".  Entries larger than the axis are fine (that axis gets one tile).
+    """
+    if isinstance(chunk_shape, (int, np.integer)):
+        chunk_shape = (int(chunk_shape),) * len(shape)
+    chunk_shape = tuple(chunk_shape)
+    if len(chunk_shape) != len(shape):
+        raise ValueError(
+            f"chunk_shape has {len(chunk_shape)} axes, the source field has "
+            f"{len(shape)} ({shape})")
+    out = []
+    for ax, (c, dim) in enumerate(zip(chunk_shape, shape)):
+        if c is None or c == -1:
+            c = dim
+        c = int(c)
+        if c < 1:
+            raise ValueError(
+                f"chunk_shape axis {ax} must be a positive tile size, -1 or "
+                f"None (full axis); got {chunk_shape[ax]!r}")
+        out.append(min(c, max(1, dim)))
+    return tuple(out)
+
+
 def compress_chunked(source, codec="sz21", bound=1e-3, *,
                      chunk_size: int = DEFAULT_CHUNK_ELEMS,
+                     chunk_shape: Optional[Sequence[int]] = None,
                      workers: Optional[int] = None,
                      codec_options: Optional[dict] = None,
                      embed_model: bool = True,
@@ -388,6 +427,17 @@ def compress_chunked(source, codec="sz21", bound=1e-3, *,
     ``chunk_size`` elements along axis 0 and each slab becomes an independent
     single-shot archive inside a version-2 envelope whose front index table
     lets every chunk be located, verified and decoded in any order.
+
+    ``chunk_shape`` switches to the N-dimensional chunk grid (format version
+    3): a per-axis tile size — e.g. ``(32, 32, 32)`` for a 3-d field, or a
+    bare int applied to every axis, with ``-1``/``None`` meaning "the full
+    axis" — tiles the field into a row-major grid of independent sub-archives,
+    which is what makes :func:`read_region` decode a sub-cube in O(region)
+    bytes instead of O(archive).  It needs an array/memmap/.npy source (a
+    row-block iterator can only be chunked along axis 0) and overrides
+    ``chunk_size``.  Tiny tiles hurt ratio (per-tile headers) and, for
+    context-exploiting codecs, accuracy of the rate — 16–64 elements per axis
+    is the useful range.
 
     The error-bound guarantee matches single-shot :func:`compress` exactly:
     a ``Rel`` bound is converted **once**, from a global range pass, into the
@@ -420,10 +470,22 @@ def compress_chunked(source, codec="sz21", bound=1e-3, *,
             raise ValueError("codec_options only apply when codec is given by name")
         spec = compressor_spec(name_for_compressor(codec))
         job_codec = codec
-    if int(chunk_size) <= 0:
-        raise ValueError(f"chunk_size must be a positive element count, got {chunk_size}")
-    chunk_elems = int(chunk_size)
     is_array = isinstance(src, np.ndarray)
+    if chunk_shape is not None:
+        if not is_array:
+            raise ValueError(
+                "chunk_shape tiling needs an array, memmap or .npy source; a "
+                "row-block iterator can only be chunked along axis 0 (use "
+                "chunk_size instead)"
+            )
+        tile_dims = _normalize_chunk_shape(chunk_shape, src.shape)
+        # chunk_shape overrides chunk_size (0 = "not slab-chunking" is fine
+        # here); chunk_elems is then only the range-pass slab granularity.
+        chunk_elems = int(chunk_size) if int(chunk_size) > 0 else DEFAULT_CHUNK_ELEMS
+    elif int(chunk_size) <= 0:
+        raise ValueError(f"chunk_size must be a positive element count, got {chunk_size}")
+    else:
+        chunk_elems = int(chunk_size)
 
     meta: dict = {}
     if spec.error_bounded and not spec.exact and bound.mode == MODE_REL:
@@ -463,6 +525,27 @@ def compress_chunked(source, codec="sz21", bound=1e-3, *,
     def _cast(chunk: np.ndarray) -> np.ndarray:
         return np.asarray(chunk, dtype=cast_dtype) if cast_dtype is not None \
             else np.asarray(chunk)
+
+    if chunk_shape is not None:
+        grid_shape = grid_shape_of(src.shape, tile_dims)
+
+        def _tile_jobs():
+            # np.ndindex enumerates the grid in row-major order, which is the
+            # order the v3 index table requires (and yields one empty tuple
+            # for a 0-d field — a single tile holding the scalar).
+            for coords in np.ndindex(*grid_shape):
+                sl = tuple(slice(c * cs, min((c + 1) * cs, d))
+                           for c, cs, d in zip(coords, tile_dims, src.shape))
+                yield (_cast(src[sl]), job_codec, codec_options, chunk_bound,
+                       embed_model)
+
+        blobs = list(parallel_imap(_compress_chunk_job, _tile_jobs(),
+                                   workers=workers))
+        return build_grid_archive(
+            codec=spec.name, shape=tuple(int(s) for s in src.shape),
+            dtype=str(cast_dtype) if cast_dtype is not None else str(src.dtype),
+            bound_mode=bound.mode, bound_value=bound.value,
+            chunk_shape=tile_dims, tile_blobs=blobs, meta=meta)
 
     def _jobs():
         if is_array:
@@ -516,8 +599,15 @@ def iter_decompressed_chunks(blob: bytes, *, model=None, autoencoder=None,
     The out-of-core consumer loop: only a bounded number of chunks is ever in
     flight, so a larger-than-RAM field can be decompressed straight into its
     destination (a memmap, a socket, ...).  ``row_slice`` addresses the chunk's
-    slab along axis 0 of the full field.
+    slab along axis 0 of the full field.  Grid (version-3) archives tile along
+    every axis, so their pieces are not row slabs — stream them with
+    :func:`iter_region_tiles` instead.
     """
+    if is_grid_archive(blob):
+        raise ValueError(
+            "this is a grid (N-d tiled) archive; its tiles are not row slabs — "
+            "stream it with repro.iter_region_tiles(blob, region) instead"
+        )
     index = ChunkedIndex.from_bytes(blob)
     yield from _iter_chunks(index, blob, model=model, autoencoder=autoencoder,
                             codec_options=codec_options, workers=workers)
@@ -572,18 +662,353 @@ def _decompress_chunked(blob: bytes, *, model=None, autoencoder=None,
     return result
 
 
-def read_header(blob: bytes) -> Union[Archive, ChunkedIndex]:
+# ---------------------------------------------------------------------------
+# Random-access region decode
+# ---------------------------------------------------------------------------
+
+class _BytesReader:
+    """Random-access reads over an in-memory archive blob."""
+
+    def __init__(self, data):
+        self._data = bytes(data)
+        self.bytes_read = 0
+
+    @property
+    def size(self) -> int:
+        return len(self._data)
+
+    def read_at(self, offset: int, length: int) -> bytes:
+        out = self._data[offset:offset + length]
+        self.bytes_read += len(out)
+        return out
+
+    def read_all(self) -> bytes:
+        self.bytes_read += len(self._data)
+        return self._data
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+
+class _FileReader:
+    """Seek-based reads over an on-disk archive: the region-decode fast path.
+
+    Only the byte ranges actually requested are read, so pulling a small
+    region out of a multi-gigabyte archive touches the front header plus the
+    intersecting tiles — O(region) I/O, not O(archive).
+    """
+
+    def __init__(self, path):
+        self._f = open(path, "rb")
+        self._size = os.fstat(self._f.fileno()).st_size
+        self.bytes_read = 0
+
+    @property
+    def size(self) -> int:
+        return self._size
+
+    def read_at(self, offset: int, length: int) -> bytes:
+        self._f.seek(offset)
+        out = self._f.read(length)
+        self.bytes_read += len(out)
+        return out
+
+    def read_all(self) -> bytes:
+        return self.read_at(0, self._size)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self._f.close()
+        return False
+
+
+def _open_reader(source):
+    if isinstance(source, (bytes, bytearray, memoryview)):
+        return _BytesReader(source)
+    if isinstance(source, (str, os.PathLike)):
+        return _FileReader(source)
+    raise TypeError(
+        f"source must be archive bytes or a path to an archive file, got "
+        f"{type(source)!r}")
+
+
+def _load_index(reader) -> Union[Archive, ChunkedIndex, GridIndex]:
+    """Parse an archive's index from a reader, touching O(header) bytes.
+
+    Version-1 archives have no tile table, so they are read whole; chunked
+    (v2) and grid (v3) archives read only the front matter and validate the
+    index against the total size.
+    """
+    total_front = front_size(reader.read_at(0, FRONT_PREFIX))
+    front = reader.read_at(0, total_front)
+    if len(front) < total_front:
+        raise ValueError("corrupt archive: truncated header")
+    version, header, data_start = parse_front(front)
+    if version == ARCHIVE_VERSION:
+        return Archive.from_bytes(reader.read_all())
+    if version == CHUNKED_ARCHIVE_VERSION:
+        return ChunkedIndex.from_header(header, data_start, reader.size)
+    if version == GRID_ARCHIVE_VERSION:
+        return GridIndex.from_header(header, data_start, reader.size)
+    raise ValueError(
+        f"unsupported archive version {version} (this build reads versions "
+        f"{ARCHIVE_VERSION}, {CHUNKED_ARCHIVE_VERSION} and "
+        f"{GRID_ARCHIVE_VERSION})")
+
+
+def normalize_region(region, shape: Tuple[int, ...]) -> Tuple[Tuple[int, int], ...]:
+    """Validate ``region`` against ``shape``; returns per-axis ``(start, stop)``.
+
+    ``region`` is a tuple of slices (a single slice/int is promoted to a
+    1-tuple); missing trailing axes default to the full axis.  Integers are
+    kept as length-1 slices (``i`` means ``i:i+1`` — the axis is *not*
+    dropped).  Bounds clamp to the field like numpy slicing, so
+    ``start >= stop`` yields an empty region.  Negative indices and strides
+    other than 1 raise ``ValueError``: tiles are stored contiguously, so a
+    strided read could not skip any I/O — decode the enclosing contiguous
+    region and stride in memory instead.
+    """
+    if isinstance(region, (slice, int, np.integer)):
+        region = (region,)
+    region = tuple(region)
+    if len(region) > len(shape):
+        raise ValueError(
+            f"region has {len(region)} axes, the archive field is "
+            f"{len(shape)}-d {shape}")
+    region = region + (slice(None),) * (len(shape) - len(region))
+    bounds = []
+    for ax, (entry, dim) in enumerate(zip(region, shape)):
+        if isinstance(entry, (int, np.integer)):
+            entry = slice(int(entry), int(entry) + 1)
+        if not isinstance(entry, slice):
+            raise ValueError(
+                f"region axis {ax}: expected a slice or int, got {entry!r}")
+        if entry.step is not None:
+            try:
+                step = _as_index(entry.step)
+            except TypeError:
+                raise ValueError(
+                    f"region axis {ax}: slice step must be an integer, got "
+                    f"{entry.step!r}") from None
+            if step != 1:
+                raise ValueError(
+                    f"region axis {ax}: strided slices are not supported "
+                    f"(step={step}); read the enclosing contiguous region and "
+                    f"stride in memory")
+        lo_hi = []
+        for name, value, default in (("start", entry.start, 0),
+                                     ("stop", entry.stop, dim)):
+            if value is None:
+                lo_hi.append(default)
+                continue
+            try:
+                value = _as_index(value)
+            except TypeError:
+                raise ValueError(
+                    f"region axis {ax}: slice {name} must be an integer, got "
+                    f"{value!r}") from None
+            if value < 0:
+                raise ValueError(
+                    f"region axis {ax}: negative indices are not supported "
+                    f"(got {name}={value}); use absolute coordinates in "
+                    f"[0, {dim}]")
+            lo_hi.append(min(value, dim))
+        start, stop = lo_hi
+        bounds.append((start, max(stop, start)))
+    return tuple(bounds)
+
+
+def parse_region(spec: str) -> Tuple[slice, ...]:
+    """Parse a region string like ``"10:20,0:64,5:9"`` into a tuple of slices.
+
+    One comma-separated field per axis: ``start:stop`` (either side may be
+    omitted for "from 0" / "to the end"), ``:`` for a full axis, or a bare
+    integer ``i`` (kept as the length-1 slice ``i:i+1``).  This is the CLI
+    syntax of ``repro extract --region``; validation against a concrete field
+    shape happens in :func:`normalize_region` / :func:`read_region`.
+    """
+    fields = [f.strip() for f in str(spec).split(",")]
+    out = []
+    for f in fields:
+        parts = f.split(":")
+        if len(parts) > 3:
+            raise ValueError(
+                f"bad region field {f!r} in {spec!r}: expected start:stop, "
+                f"':' or a bare integer")
+        try:
+            nums = [int(p) if p.strip() else None for p in parts]
+        except ValueError:
+            raise ValueError(
+                f"bad region field {f!r} in {spec!r}: bounds must be "
+                f"integers") from None
+        if len(parts) == 1:
+            if nums[0] is None:
+                raise ValueError(
+                    f"bad region field {f!r} in {spec!r}: empty axis (use "
+                    f"':' for a full axis)")
+            out.append(slice(nums[0], nums[0] + 1))
+        else:
+            out.append(slice(*nums))
+    return tuple(out)
+
+
+def iter_region_tiles(source, region, *, model=None, autoencoder=None,
+                      codec_options: Optional[dict] = None,
+                      workers: Optional[int] = None
+                      ) -> Iterator[Tuple[Tuple[slice, ...], np.ndarray]]:
+    """Stream the decoded pieces of ``region`` as ``(local_slices, piece)`` pairs.
+
+    ``source`` is archive bytes or a path (paths are read with seeks: only the
+    front header and the intersecting tiles are touched).  ``region`` is a
+    tuple of slices in full-field coordinates (see :func:`normalize_region`).
+    Each yielded ``piece`` is one tile cropped to its intersection with the
+    region, and ``local_slices`` place it inside the region-shaped result
+    (``out[local_slices] = piece``) — so a large region can be gathered
+    straight into a memmap without ever materializing whole.  Tiles outside
+    the region are neither read nor decoded.
+
+    Works on every envelope version: v3 grid archives intersect in N
+    dimensions, v2 chunked archives are served as a 1-d grid of axis-0 slabs,
+    and v1 single-shot archives (which have no index) decode whole and yield
+    the region as one piece.
+    """
+    if isinstance(region, str):
+        region = parse_region(region)
+    with _open_reader(source) as reader:
+        index = _load_index(reader)
+        bounds = normalize_region(region, index.shape)
+        yield from _iter_tiles_for_region(reader, index, bounds, model=model,
+                                          autoencoder=autoencoder,
+                                          codec_options=codec_options,
+                                          workers=workers)
+
+
+def _iter_tiles_for_region(reader, index, bounds, *, model=None,
+                           autoencoder=None,
+                           codec_options: Optional[dict] = None,
+                           workers: Optional[int] = None
+                           ) -> Iterator[Tuple[Tuple[slice, ...], np.ndarray]]:
+    """The single-parse core of :func:`iter_region_tiles` / :func:`read_region`:
+    the caller has already opened ``reader`` and parsed ``index``/``bounds``."""
+    if isinstance(index, Archive):
+        if any(b0 >= b1 for b0, b1 in bounds):
+            return
+        # _load_index already read and parsed the whole v1 blob (it has no
+        # tile table); decode the parsed archive rather than re-reading it.
+        recon = _decompress_parsed(index, model=model, autoencoder=autoencoder,
+                                   codec_options=codec_options)
+        piece = recon[tuple(slice(b0, b1) for b0, b1 in bounds)]
+        yield tuple(slice(0, b1 - b0) for b0, b1 in bounds), piece
+        return
+    compressor_spec(index.codec)  # unknown codec fails before any decode
+    tiles = index.region_tiles(bounds)
+    jobs = ((index.check_tile(i, reader.read_at(index.data_start
+                                                + index.offsets[i],
+                                                index.lengths[i])),
+             model, autoencoder, codec_options)
+            for i in tiles)
+    for i, tile in zip(tiles, parallel_imap(_decompress_chunk_job, jobs,
+                                            workers=workers)):
+        if tuple(tile.shape) != index.tile_shape(i):
+            raise ValueError(
+                f"corrupt archive: tile {i} decoded to shape "
+                f"{tuple(tile.shape)}, index says {index.tile_shape(i)}")
+        local, inner = [], []
+        for (b0, b1), s in zip(bounds, index.tile_slices(i)):
+            lo, hi = max(b0, s.start), min(b1, s.stop)
+            local.append(slice(lo - b0, hi - b0))
+            inner.append(slice(lo - s.start, hi - s.start))
+        yield tuple(local), tile[tuple(inner)]
+
+
+def read_region(source, region, *, model=None, autoencoder=None,
+                codec_options: Optional[dict] = None,
+                workers: Optional[int] = None,
+                out: Optional[np.ndarray] = None) -> np.ndarray:
+    """Decode only the part of an archive that intersects ``region``.
+
+    The random-access entry point: ``source`` is archive bytes or a path, and
+    ``region`` is a tuple of slices (or a string via :func:`parse_region`) in
+    full-field coordinates.  Only the tiles intersecting the region are read
+    and decoded — for a path source the rest of the file is never touched —
+    and each decoded value carries the same per-element error bound as a full
+    :func:`decompress`.  Returns an array of exactly the region's shape;
+    ``out`` accepts a preallocated region-shaped array (e.g. a
+    ``numpy.memmap``) to gather into.  ``workers`` decodes the intersecting
+    tiles through a process pool.
+
+    Slices clamp like numpy (so ``start >= stop`` gives an empty axis);
+    negative indices and strides raise ``ValueError``.  Integer entries keep
+    their axis as length 1.  v2 chunked archives are served through the same
+    path (tiles are the axis-0 slabs); v1 single-shot archives decode whole
+    and slice (no random-access saving — recompress with ``chunk_shape`` to
+    get one).
+    """
+    if isinstance(region, str):
+        region = parse_region(region)
+    with _open_reader(source) as reader:
+        index = _load_index(reader)
+        bounds = normalize_region(region, index.shape)
+        region_shape = tuple(b1 - b0 for b0, b1 in bounds)
+        if out is not None and tuple(out.shape) != region_shape:
+            raise ValueError(
+                f"out has shape {tuple(out.shape)}, region shape is {region_shape}")
+        result = out
+        for sl, piece in _iter_tiles_for_region(reader, index, bounds,
+                                                model=model,
+                                                autoencoder=autoencoder,
+                                                codec_options=codec_options,
+                                                workers=workers):
+            if out is not None:
+                _store_chunk(out, sl, piece)
+                continue
+            if result is None:
+                result = np.empty(region_shape, dtype=piece.dtype)
+            elif piece.dtype.itemsize > result.dtype.itemsize:
+                # A later tile could not be restored narrow; widen what is
+                # already written (exact float upcast) and continue.
+                result = result.astype(piece.dtype)
+            result[sl] = piece
+    if result is None:
+        # Empty region (or empty out): nothing was decoded; shape is exact,
+        # dtype falls back to the header's source dtype.
+        result = np.empty(region_shape, dtype=np.dtype(index.dtype))
+    return result
+
+
+def _decompress_grid(blob: bytes, *, model=None, autoencoder=None,
+                     codec_options: Optional[dict] = None,
+                     workers: Optional[int] = None,
+                     out: Optional[np.ndarray] = None) -> np.ndarray:
+    """Full decode of a version-3 grid archive.
+
+    ``read_region`` with the empty region tuple: ``normalize_region`` pads
+    missing trailing axes to the full axis, so ``()`` selects everything (and
+    the index is parsed exactly once, inside ``read_region``).
+    """
+    return read_region(blob, (), model=model, autoencoder=autoencoder,
+                       codec_options=codec_options, workers=workers, out=out)
+
+
+def read_header(source) -> Union[Archive, ChunkedIndex, GridIndex]:
     """Parse an archive's framed header without decompressing the payload.
 
-    Single-shot (version-1) blobs return an :class:`Archive` that still
-    carries the raw payload bytes; chunked (version-2) blobs return a
-    :class:`ChunkedIndex` with the chunk table.  Both expose ``codec`` /
-    ``shape`` / ``dtype`` / ``bound_mode`` / ``bound_value``; this is the
-    inspection entry point (``python -m repro info`` uses it).
+    ``source`` is archive bytes or a path to an archive file.  Single-shot
+    (version-1) blobs return an :class:`Archive` that still carries the raw
+    payload bytes; chunked (version-2) blobs return a :class:`ChunkedIndex`
+    with the chunk table; grid (version-3) blobs return a :class:`GridIndex`
+    with the tile grid.  All three expose ``codec`` / ``shape`` / ``dtype`` /
+    ``bound_mode`` / ``bound_value``; this is the inspection entry point
+    (``python -m repro info`` uses it).  For a path to a v2/v3 archive only
+    the front header is read, however large the file.
     """
-    if is_chunked_archive(blob):
-        return ChunkedIndex.from_bytes(blob)
-    return Archive.from_bytes(blob)
+    with _open_reader(source) as reader:
+        return _load_index(reader)
 
 
 def decompress(blob: bytes, *, model=None, autoencoder=None,
@@ -623,6 +1048,9 @@ def decompress(blob: bytes, *, model=None, autoencoder=None,
     if is_chunked_archive(blob):
         return _decompress_chunked(blob, model=model, autoencoder=autoencoder,
                                    codec_options=codec_options, workers=workers, out=out)
+    if is_grid_archive(blob):
+        return _decompress_grid(blob, model=model, autoencoder=autoencoder,
+                                codec_options=codec_options, workers=workers, out=out)
     recon = _decompress_archive(blob, model=model, autoencoder=autoencoder,
                                 codec_options=codec_options)
     if out is not None:
@@ -637,7 +1065,14 @@ def decompress(blob: bytes, *, model=None, autoencoder=None,
 def _decompress_archive(blob: bytes, *, model=None, autoencoder=None,
                         codec_options: Optional[dict] = None) -> np.ndarray:
     """Decode one single-shot (version-1) archive blob."""
-    archive = Archive.from_bytes(blob)
+    return _decompress_parsed(Archive.from_bytes(blob), model=model,
+                              autoencoder=autoencoder,
+                              codec_options=codec_options)
+
+
+def _decompress_parsed(archive: Archive, *, model=None, autoencoder=None,
+                       codec_options: Optional[dict] = None) -> np.ndarray:
+    """Decode an already-parsed single-shot :class:`Archive`."""
     spec = compressor_spec(archive.codec)
 
     opts = dict(codec_options or {})
@@ -692,4 +1127,5 @@ def roundtrip(data, codec="sz21", bound=1e-3, *, codec_options: Optional[dict] =
 
 
 __all__ = ["compress", "compress_chunked", "decompress", "iter_decompressed_chunks",
-           "roundtrip", "read_header", "DEFAULT_CHUNK_ELEMS"]
+           "iter_region_tiles", "normalize_region", "parse_region", "read_header",
+           "read_region", "roundtrip", "DEFAULT_CHUNK_ELEMS"]

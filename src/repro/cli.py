@@ -26,12 +26,26 @@ discovered through :mod:`repro.registry`, so new compressors show up in
     python -m repro compress --dims 4096 4096 --error-bound 1e-3 \
         --compressor szinterp --chunk-size 4194304 --workers 4 big.f32 big.rpra
 
+    # N-d chunk grid: tile a 3-d field into independent 32^3 sub-archives so
+    # sub-cubes can later be decoded without touching the rest (format v3).
+    # (After a multi-value flag like --chunk-shape, separate the positional
+    # files with -- or put them first.)
+    python -m repro compress big.f32 big.rpra --dims 256 256 256 \
+        --error-bound 1e-3 --compressor szinterp --chunk-shape 32 32 32
+
+    # random-access region decode: reads only the intersecting tiles
+    python -m repro extract big.rpra corner.f32 --region "10:20,0:64,5:9"
+
     # decompress: the archive knows its codec, dims, dtype and model hash
     python -m repro decompress snapshot9.rpra snapshot9.out.f32 --model swae.npz
     # (add --workers N to decode a chunked archive's chunks in parallel)
 
+    # inspect an archive: codec, dims, bound mode/value, chunk grid
+    python -m repro info snapshot9.rpra
+
     # compare against the original and print ratio / PSNR / max error
-    python -m repro info --dims 256 512 snapshot9.f32 snapshot9.out.f32
+    # (files first: the multi-value --dims flag would swallow them otherwise)
+    python -m repro info snapshot9.f32 snapshot9.out.f32 --dims 256 512
 
 AE-SZ archives record the model fingerprint; pass ``--embed-model`` during
 compression to store the weights in the archive so decompression needs no
@@ -51,7 +65,7 @@ from repro import api
 from repro.autoencoders import AutoencoderConfig, SlicedWassersteinAutoencoder
 from repro.bounds import ErrorBound, MODES
 from repro.core import AESZCompressor, AESZConfig
-from repro.data.loader import load_f32, map_f32, save_f32
+from repro.data.loader import create_f32, load_f32, map_f32, save_f32
 from repro.encoding.container import is_archive
 from repro.metrics import compression_ratio, max_rel_error, psnr
 from repro.nn import TrainingConfig
@@ -137,9 +151,15 @@ def build_parser() -> argparse.ArgumentParser:
                       help="compress in independent row-slab chunks of ~ELEMS elements "
                            "(streamed from a memory-mapped input, so fields larger than "
                            "RAM work); 0 = single-shot (default)")
+    comp.add_argument("--chunk-shape", type=int, nargs="+", metavar="N",
+                      help="per-axis tile size for the N-d chunk grid (format v3), "
+                           "e.g. --chunk-shape 32 32 32; -1 = full axis. Enables "
+                           "random-access 'extract' on the archive; overrides "
+                           "--chunk-size")
     comp.add_argument("--workers", type=int, default=1,
                       help="process-pool workers for chunked compression (needs "
-                           "--chunk-size; output is bit-identical for any worker count)")
+                           "--chunk-size or --chunk-shape; output is bit-identical "
+                           "for any worker count)")
 
     # ------------------------------------------------------------- decompress
     dec = sub.add_parser("decompress", help="decompress an archive produced by 'compress'")
@@ -158,11 +178,30 @@ def build_parser() -> argparse.ArgumentParser:
                      help="process-pool workers for decoding chunked archives "
                           "(single-shot archives decode in-process)")
 
+    # ---------------------------------------------------------------- extract
+    ext = sub.add_parser("extract",
+                         help="decode a sub-region of an archive without touching "
+                              "the rest (random access; needs a chunked/grid archive "
+                              "for the I/O saving)")
+    ext.add_argument("input", help="compressed archive file")
+    ext.add_argument("output", help="raw float32 output file (the region only)")
+    ext.add_argument("--region", required=True,
+                     help="per-axis slices in full-field coordinates, e.g. "
+                          "\"10:20,0:64,5:9\"; ':' = full axis, a bare integer "
+                          "keeps its axis with length 1")
+    ext.add_argument("--workers", type=int, default=1,
+                     help="process-pool workers for decoding the intersecting tiles")
+    ext.add_argument("--model", help=".npz model (aesz archives without an "
+                                     "embedded model)")
+
     # ------------------------------------------------------------------- info
-    info = sub.add_parser("info", help="compare an original and a reconstructed field")
-    _add_dims(info)
-    info.add_argument("original", help="raw float32 original file")
-    info.add_argument("reconstructed", help="raw float32 reconstructed file")
+    info = sub.add_parser("info",
+                          help="inspect an archive (codec, dims, bound, chunk grid), "
+                               "or compare an original and a reconstructed field")
+    _add_dims(info, required=False)
+    info.add_argument("files", nargs="+", metavar="FILE",
+                      help="one archive file to inspect, or: ORIGINAL RECONSTRUCTED "
+                           "raw float32 fields to compare (needs --dims)")
     info.add_argument("--compressed", help="optional compressed file (for the ratio)")
     return parser
 
@@ -205,10 +244,23 @@ def _cmd_compress(args: argparse.Namespace) -> int:
     compressor = _make_compressor(args)
     try:
         bound = ErrorBound(args.bound_mode, args.error_bound)
-        if args.workers > 1 and args.chunk_size <= 0:
-            raise SystemExit("--workers needs --chunk-size (single-shot "
-                             "compression runs in-process)")
-        if args.chunk_size > 0:
+        if args.workers > 1 and args.chunk_size <= 0 and not args.chunk_shape:
+            raise SystemExit("--workers needs --chunk-size or --chunk-shape "
+                             "(single-shot compression runs in-process)")
+        if args.chunk_shape:
+            # N-d chunk grid (format v3): memory-map the input and compress a
+            # row-major grid of independent tiles, so `repro extract` can later
+            # seek to any sub-region without decoding the rest.
+            data = map_f32(args.input, args.dims)
+            blob = api.compress_chunked(data, codec=compressor, bound=bound,
+                                        chunk_shape=tuple(args.chunk_shape),
+                                        workers=args.workers,
+                                        embed_model=args.embed_model,
+                                        dtype=np.float64)
+            header = api.read_header(blob)
+            detail = (f", grid {'x'.join(str(g) for g in header.grid_shape)}"
+                      f" = {header.n_tiles} tiles, workers {args.workers}")
+        elif args.chunk_size > 0:
             # Memory-map the input and stream row slabs through the chunked
             # pipeline — the field never fully resides in RAM; the per-slab
             # float64 cast gives codecs the same input as the single-shot path.
@@ -266,20 +318,88 @@ def _cmd_decompress(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_extract(args: argparse.Namespace) -> int:
+    try:
+        region = api.parse_region(args.region)
+        header = api.read_header(args.input)  # header-only read, however large
+        bounds = api.normalize_region(region, header.shape)
+        shape = tuple(stop - start for start, stop in bounds)
+        if int(np.prod(shape)) == 0:
+            Path(args.output).write_bytes(b"")
+            print(f"{args.input}: region {args.region} is empty for shape "
+                  f"{header.shape}; wrote 0 bytes to {args.output}")
+            return 0
+        # Gather decoded tiles straight into an on-disk float32 memmap: the
+        # region is streamed tile by tile and never materializes in RAM.
+        out = create_f32(args.output, shape)
+        decoded = 0
+        for local, piece in api.iter_region_tiles(args.input, region,
+                                                  model=args.model,
+                                                  workers=args.workers):
+            out[local] = piece  # float32 storage, same convention as decompress
+            decoded += 1
+        out.flush()
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    total = getattr(header, "n_tiles", 1)
+    print(f"{args.input}: region {args.region} -> {args.output} "
+          f"(shape {shape}, decoded {decoded} of {total} tiles)")
+    return 0
+
+
+def _grid_summary(header) -> str:
+    """One line describing how an archive is chunked (for `repro info`)."""
+    if hasattr(header, "grid_shape"):  # v3 N-d grid
+        return (f"chunk shape {tuple(header.chunk_shape)}, grid "
+                f"{'x'.join(str(g) for g in header.grid_shape)}, "
+                f"{header.n_tiles} tiles")
+    if hasattr(header, "n_chunks"):  # v2 axis-0 slabs
+        rows = max(b - a for a, b in zip(header.starts, header.starts[1:]))
+        return (f"axis {header.axis}, {rows} rows per chunk, "
+                f"{header.n_chunks} chunks")
+    return "single-shot (1 payload)"
+
+
+def _info_archive(path: str) -> int:
+    blob_size = Path(path).stat().st_size
+    try:
+        header = api.read_header(path)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    bound = ErrorBound(header.bound_mode, header.bound_value)
+    kinds = {1: "single-shot", 2: "chunked, axis-0 slabs", 3: "N-d chunk grid"}
+    print(f"archive : {path} ({blob_size} bytes)")
+    print(f"format  : RPRA v{header.version} ({kinds.get(header.version, 'unknown')})")
+    print(f"codec   : {header.codec}")
+    print(f"shape   : {header.shape}, dtype {header.dtype}")
+    print(f"bound   : {header.bound_mode} = {header.bound_value:g}  "
+          f"({bound.description})")
+    print(f"tiles   : {_grid_summary(header)}")
+    ratio = compression_ratio(header.n_points * np.dtype(header.dtype).itemsize,
+                              blob_size)
+    print(f"ratio   : {ratio:.2f}x vs uncompressed {header.dtype}")
+    return 0
+
+
 def _cmd_info(args: argparse.Namespace) -> int:
-    original = load_f32(args.original, args.dims).astype(np.float64)
-    reconstructed = load_f32(args.reconstructed, args.dims).astype(np.float64)
+    if len(args.files) == 1:
+        return _info_archive(args.files[0])
+    if len(args.files) != 2:
+        raise SystemExit("info takes one archive file, or two raw fields "
+                         "(original reconstructed) to compare")
+    if not args.dims:
+        raise SystemExit("comparing raw float32 fields needs --dims")
+    original = load_f32(args.files[0], args.dims).astype(np.float64)
+    reconstructed = load_f32(args.files[1], args.dims).astype(np.float64)
     print(f"PSNR            : {psnr(original, reconstructed):.2f} dB")
     print(f"max error/range : {max_rel_error(original, reconstructed):.3e}")
     if args.compressed:
         blob = Path(args.compressed).read_bytes()
         if is_archive(blob):
             header = api.read_header(blob)
-            chunks = (f", {header.n_chunks} chunks"
-                      if hasattr(header, "n_chunks") else "")
             print(f"archive         : codec {header.codec}, shape {header.shape}, "
                   f"dtype {header.dtype}, bound {header.bound_mode}={header.bound_value:g}"
-                  f"{chunks}")
+                  f", {_grid_summary(header)}")
         print(f"compression     : {compression_ratio(original.size * 4, len(blob)):.2f}x "
               f"({len(blob)} bytes)")
     return 0
@@ -288,7 +408,8 @@ def _cmd_info(args: argparse.Namespace) -> int:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {"list": _cmd_list, "train": _cmd_train, "compress": _cmd_compress,
-                "decompress": _cmd_decompress, "info": _cmd_info}
+                "decompress": _cmd_decompress, "extract": _cmd_extract,
+                "info": _cmd_info}
     return handlers[args.command](args)
 
 

@@ -22,7 +22,7 @@ from repro.data.catalog import (
     load_training_blocks,
     train_test_snapshots,
 )
-from repro.data.loader import load_f32, map_f32, save_f32
+from repro.data.loader import create_f32, load_f32, map_f32, save_f32
 
 __all__ = [
     "gaussian_random_field",
@@ -34,6 +34,7 @@ __all__ = [
     "load_field_snapshot",
     "load_training_blocks",
     "train_test_snapshots",
+    "create_f32",
     "load_f32",
     "map_f32",
     "save_f32",

@@ -46,6 +46,21 @@ def map_f32(path: PathLike, shape: Sequence[int]) -> np.ndarray:
     return np.memmap(path, dtype="<f4", mode="r", shape=shape)
 
 
+def create_f32(path: PathLike, shape: Sequence[int]) -> np.ndarray:
+    """Create a raw little-endian float32 field on disk as a writable memmap.
+
+    The region-extract path gathers decoded tiles straight into the returned
+    ``numpy.memmap`` (``mm[local_slices] = piece``), so an extracted region is
+    streamed tile by tile to disk and never materializes in RAM.  The caller
+    should ``flush()`` when done.  Empty shapes cannot be memory-mapped; the
+    caller handles those by writing an empty file.
+    """
+    shape = tuple(int(s) for s in shape)
+    if int(np.prod(shape)) == 0:
+        raise ValueError(f"cannot memory-map an empty field of shape {shape}")
+    return np.memmap(path, dtype="<f4", mode="w+", shape=shape)
+
+
 def save_f64(path: PathLike, data: np.ndarray) -> None:
     """Write a field as raw little-endian float64."""
     np.ascontiguousarray(np.asarray(data), dtype="<f8").tofile(path)

@@ -15,10 +15,12 @@ consistently with the entropy-stream convention.
 
 from __future__ import annotations
 
+import itertools
 import json
 import struct
+from bisect import bisect_right
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Mapping, Optional, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -216,10 +218,17 @@ class Archive:
                 "this is a chunked (multi-chunk) archive; parse it with "
                 "ChunkedIndex.from_bytes or decode it via repro.decompress"
             )
+        if version == GRID_ARCHIVE_VERSION:
+            raise ValueError(
+                "this is a grid (N-d tiled) archive; parse it with "
+                "GridIndex.from_bytes or decode it via repro.decompress / "
+                "repro.read_region"
+            )
         if version != ARCHIVE_VERSION:
             raise ValueError(
                 f"unsupported archive version {version} (this build reads "
-                f"versions {ARCHIVE_VERSION} and {CHUNKED_ARCHIVE_VERSION})"
+                f"versions {ARCHIVE_VERSION}, {CHUNKED_ARCHIVE_VERSION} and "
+                f"{GRID_ARCHIVE_VERSION})"
             )
         raw, pos = take(pos, _LEN.size, "header length")
         (hlen,) = _LEN.unpack(raw)
@@ -286,6 +295,127 @@ class Archive:
 # ---------------------------------------------------------------------------
 
 CHUNKED_ARCHIVE_VERSION = 2
+GRID_ARCHIVE_VERSION = 3
+
+#: Bytes of fixed-size front matter before the JSON header: magic (4) +
+#: version (u16) + header length (u32).  Reading this prefix is enough to know
+#: how many more bytes the full front (and thus the chunk/tile index) needs.
+FRONT_PREFIX = 4 + _U16.size + _LEN.size
+
+
+def front_size(prefix: bytes) -> int:
+    """Total front-matter size (magic through header JSON) of an archive.
+
+    Needs only the first :data:`FRONT_PREFIX` bytes.  Region readers use this
+    to fetch a multi-gigabyte archive's index with two small reads: one for
+    the fixed prefix, one for the JSON header it sizes.
+    """
+    prefix = bytes(prefix[:FRONT_PREFIX])
+    if len(prefix) < FRONT_PREFIX or prefix[:4] != ARCHIVE_MAGIC:
+        raise ValueError("corrupt archive: bad magic (not a repro archive)")
+    (hlen,) = _LEN.unpack_from(prefix, 4 + _U16.size)
+    return FRONT_PREFIX + hlen
+
+
+def parse_front(data: bytes) -> Tuple[int, dict, int]:
+    """Parse the envelope front: ``(version, header_dict, data_start)``.
+
+    ``data`` may be a prefix of the archive — it must cover the front matter
+    (magic | u16 version | u32 header len | header JSON) but none of the body
+    bytes that follow, which is what lets index parsing stay O(header) for
+    arbitrarily large chunked/grid archives.
+    """
+    data = bytes(data)
+    if len(data) < 4 or data[:4] != ARCHIVE_MAGIC:
+        raise ValueError("corrupt archive: bad magic (not a repro archive)")
+    if len(data) < FRONT_PREFIX:
+        raise ValueError("corrupt archive: truncated front matter")
+    (version,) = _U16.unpack_from(data, 4)
+    (hlen,) = _LEN.unpack_from(data, 4 + _U16.size)
+    if FRONT_PREFIX + hlen > len(data):
+        raise ValueError("corrupt archive: truncated header")
+    try:
+        header = json.loads(data[FRONT_PREFIX:FRONT_PREFIX + hlen].decode())
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ValueError(f"corrupt archive: unreadable header ({exc})") from None
+    if not isinstance(header, dict):
+        raise ValueError("corrupt archive: header is not a JSON object")
+    return version, header, FRONT_PREFIX + hlen
+
+
+def _common_header_fields(header: dict):
+    """Extract the fields every envelope version shares from a header dict."""
+    try:
+        codec = str(header["codec"])
+        shape = tuple(int(s) for s in header["shape"])
+        dtype = str(header["dtype"])
+        bound = header["bound"]
+        bound_mode = str(bound["mode"])
+        bound_value = float(bound["value"])
+        meta = header.get("meta", {})
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ValueError(f"corrupt archive: malformed header ({exc})") from None
+    if not isinstance(meta, dict):
+        raise ValueError("corrupt archive: header meta is not a JSON object")
+    return codec, shape, dtype, bound_mode, bound_value, meta
+
+
+def _check_contiguous(offsets: Sequence[int], lengths: Sequence[int],
+                      data_start: int, total_size: int, what: str) -> None:
+    """Validate that byte ranges tile [data_start, total_size) back to back."""
+    end = 0
+    for off, length in zip(offsets, lengths):
+        if off != end or length < 0:
+            raise ValueError(f"corrupt archive: non-contiguous {what} offsets")
+        end += length
+    if data_start + end != total_size:
+        missing = data_start + end - total_size
+        if missing > 0:
+            raise ValueError(f"corrupt archive: truncated {what} data")
+        raise ValueError(f"corrupt archive: {-missing} trailing bytes")
+
+
+def _check_blob(raw: bytes, length: int, crc: int, label: str) -> bytes:
+    """Validate one chunk/tile blob (length + CRC-32) as read from storage."""
+    import zlib
+
+    raw = bytes(raw)
+    if len(raw) != length or zlib.crc32(raw) != crc:
+        raise ValueError(f"corrupt archive: {label} checksum mismatch")
+    return raw
+
+
+def _blob_table(blobs: Sequence[bytes]):
+    """The contiguous (offsets, lengths, crcs) index arrays for blob bodies."""
+    import zlib
+
+    offsets, lengths, crcs = [], [], []
+    pos = 0
+    for blob in blobs:
+        offsets.append(pos)
+        lengths.append(len(blob))
+        crcs.append(zlib.crc32(blob))
+        pos += len(blob)
+    return offsets, lengths, crcs
+
+
+def _assemble_envelope(version: int, header: dict,
+                       blobs: Iterable[bytes]) -> bytes:
+    """Serialize magic | version | header len | canonical JSON | blob bodies."""
+    header_bytes = json.dumps(header, separators=(",", ":"), sort_keys=True).encode()
+    out = bytearray()
+    out += ARCHIVE_MAGIC
+    out += _U16.pack(version)
+    out += _LEN.pack(len(header_bytes))
+    out += header_bytes
+    for blob in blobs:
+        out += blob
+    return bytes(out)
+
+
+def grid_shape_of(shape: Sequence[int], chunk_shape: Sequence[int]) -> Tuple[int, ...]:
+    """Tiles per axis for a chunk grid: ``ceil(shape[ax] / chunk_shape[ax])``."""
+    return tuple(-(-int(d) // int(c)) for d, c in zip(shape, chunk_shape))
 
 # Layout (little endian):
 #   magic "RPRA" | u16 version=2 | u32 header_len | header JSON | chunk blobs
@@ -302,7 +432,8 @@ CHUNKED_ARCHIVE_VERSION = 2
 
 
 def archive_version(data: bytes) -> int:
-    """Format version of an archive blob (1 = single-shot, 2 = chunked)."""
+    """Format version of an archive blob (1 = single-shot, 2 = chunked,
+    3 = N-d grid)."""
     data = bytes(data[: 4 + _U16.size])
     if len(data) < 4 + _U16.size or data[:4] != ARCHIVE_MAGIC:
         raise ValueError("corrupt archive: bad magic (not a repro archive)")
@@ -314,6 +445,14 @@ def is_chunked_archive(data: bytes) -> bool:
     """True when ``data`` is a version-2 (multi-chunk) archive."""
     try:
         return archive_version(data) == CHUNKED_ARCHIVE_VERSION
+    except ValueError:
+        return False
+
+
+def is_grid_archive(data: bytes) -> bool:
+    """True when ``data`` is a version-3 (N-d chunk grid) archive."""
+    try:
+        return archive_version(data) == GRID_ARCHIVE_VERSION
     except ValueError:
         return False
 
@@ -361,52 +500,76 @@ class ChunkedIndex:
 
     def chunk_bytes(self, blob: bytes, i: int) -> bytes:
         """Slice chunk ``i``'s archive out of the full blob, CRC-checked."""
-        import zlib
-
         if not 0 <= i < self.n_chunks:
             raise IndexError(f"chunk index {i} out of range ({self.n_chunks} chunks)")
         start = self.data_start + self.offsets[i]
         end = start + self.lengths[i]
         if end > len(blob):
             raise ValueError(f"corrupt archive: truncated chunk {i}")
-        chunk = bytes(blob[start:end])
-        if zlib.crc32(chunk) != self.crcs[i]:
-            raise ValueError(f"corrupt archive: chunk {i} checksum mismatch")
-        return chunk
+        return self.check_tile(i, blob[start:end])
+
+    # -------------------------------------------------- tile protocol (v2/v3)
+    # The uniform random-access surface shared with :class:`GridIndex`: a v2
+    # archive is served by region readers as a degenerate 1-d grid whose tiles
+    # are the axis-0 slabs.
+
+    @property
+    def n_tiles(self) -> int:
+        return self.n_chunks
+
+    def tile_slices(self, i: int) -> Tuple[slice, ...]:
+        """Tile ``i``'s extent in full-field coordinates, one slice per axis."""
+        if not self.shape:
+            return ()
+        return ((self.chunk_slice(i),)
+                + tuple(slice(0, dim) for dim in self.shape[1:]))
+
+    def tile_shape(self, i: int) -> Tuple[int, ...]:
+        return self.chunk_shape(i)
+
+    def check_tile(self, i: int, raw: bytes) -> bytes:
+        """Validate tile ``i``'s bytes (length + CRC-32) as read from storage."""
+        return _check_blob(raw, self.lengths[i], self.crcs[i], f"chunk {i}")
+
+    def tile_bytes(self, blob: bytes, i: int) -> bytes:
+        return self.chunk_bytes(blob, i)
+
+    def region_tiles(self, bounds: Sequence[Tuple[int, int]]) -> List[int]:
+        """Indices of the chunks intersecting ``bounds`` (per-axis start/stop).
+
+        ``bounds`` must be normalized (one ``(start, stop)`` pair per axis,
+        ``0 <= start <= stop <= dim``); an empty axis selects no chunks.
+        """
+        if len(bounds) != len(self.shape):
+            raise ValueError(
+                f"region has {len(bounds)} axes, archive field has {len(self.shape)}")
+        if any(b0 >= b1 for b0, b1 in bounds):
+            return []
+        if not self.shape:
+            return [0]
+        b0, b1 = bounds[0]
+        first = max(0, bisect_right(self.starts, b0) - 1)
+        out = []
+        for i in range(first, self.n_chunks):
+            if self.starts[i] >= b1:
+                break
+            if self.starts[i + 1] > b0:  # skip empty chunks touching the edge
+                out.append(i)
+        return out
 
     # -------------------------------------------------------------- parse
     @classmethod
-    def from_bytes(cls, data: bytes) -> "ChunkedIndex":
-        data = bytes(data)
-        if len(data) < 4 or data[:4] != ARCHIVE_MAGIC:
-            raise ValueError("corrupt archive: bad magic (not a repro archive)")
-        if len(data) < 4 + _U16.size + _LEN.size:
-            raise ValueError("corrupt archive: truncated chunked header")
-        (version,) = _U16.unpack_from(data, 4)
-        if version != CHUNKED_ARCHIVE_VERSION:
-            raise ValueError(
-                f"not a chunked archive (version {version}); use Archive.from_bytes"
-            )
-        pos = 4 + _U16.size
-        (hlen,) = _LEN.unpack_from(data, pos)
-        pos += _LEN.size
-        if pos + hlen > len(data):
-            raise ValueError("corrupt archive: truncated chunked header")
+    def from_header(cls, header: dict, data_start: int,
+                    total_size: int) -> "ChunkedIndex":
+        """Build (and fully validate) an index from a parsed front header.
+
+        ``total_size`` is the archive's complete byte length — for an
+        in-memory blob ``len(blob)``, for an on-disk archive the file size —
+        so index validation never needs the body bytes themselves.
+        """
+        codec, shape, dtype, bound_mode, bound_value, meta = \
+            _common_header_fields(header)
         try:
-            header = json.loads(data[pos:pos + hlen].decode())
-        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-            raise ValueError(f"corrupt archive: unreadable header ({exc})") from None
-        data_start = pos + hlen
-        if not isinstance(header, dict):
-            raise ValueError("corrupt archive: header is not a JSON object")
-        try:
-            codec = str(header["codec"])
-            shape = tuple(int(s) for s in header["shape"])
-            dtype = str(header["dtype"])
-            bound = header["bound"]
-            bound_mode = str(bound["mode"])
-            bound_value = float(bound["value"])
-            meta = header.get("meta", {})
             chunks = header["chunks"]
             axis = int(chunks["axis"])
             starts = tuple(int(s) for s in chunks["starts"])
@@ -415,8 +578,6 @@ class ChunkedIndex:
             crcs = tuple(int(c) for c in chunks["crcs"])
         except (KeyError, TypeError, ValueError) as exc:
             raise ValueError(f"corrupt archive: malformed header ({exc})") from None
-        if not isinstance(meta, dict):
-            raise ValueError("corrupt archive: header meta is not a JSON object")
         n = len(offsets)
         if n == 0 or len(lengths) != n or len(crcs) != n or len(starts) != n + 1:
             raise ValueError("corrupt archive: inconsistent chunk index table")
@@ -432,20 +593,21 @@ class ChunkedIndex:
         expected_rows = shape[axis] if shape else 1
         if starts[-1] != expected_rows:
             raise ValueError("corrupt archive: chunk starts do not cover the field")
-        end = 0
-        for i in range(n):
-            if offsets[i] != end or lengths[i] < 0:
-                raise ValueError("corrupt archive: non-contiguous chunk offsets")
-            end += lengths[i]
-        if data_start + end != len(data):
-            missing = data_start + end - len(data)
-            if missing > 0:
-                raise ValueError("corrupt archive: truncated chunk data")
-            raise ValueError(f"corrupt archive: {-missing} trailing bytes")
+        _check_contiguous(offsets, lengths, data_start, total_size, "chunk")
         return cls(codec=codec, shape=shape, dtype=dtype, bound_mode=bound_mode,
                    bound_value=bound_value, axis=axis, starts=starts, offsets=offsets,
                    lengths=lengths, crcs=crcs, data_start=data_start, meta=meta,
-                   version=version)
+                   version=CHUNKED_ARCHIVE_VERSION)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "ChunkedIndex":
+        data = bytes(data)
+        version, header, data_start = parse_front(data)
+        if version != CHUNKED_ARCHIVE_VERSION:
+            raise ValueError(
+                f"not a chunked archive (version {version}); use Archive.from_bytes"
+            )
+        return cls.from_header(header, data_start, len(data))
 
 
 def build_chunked_archive(*, codec: str, shape: Tuple[int, ...], dtype: str,
@@ -453,21 +615,13 @@ def build_chunked_archive(*, codec: str, shape: Tuple[int, ...], dtype: str,
                           starts: Iterable[int], chunk_blobs: Iterable[bytes],
                           meta: Optional[dict] = None) -> bytes:
     """Assemble a version-2 chunked archive from per-chunk version-1 blobs."""
-    import zlib
-
     chunk_blobs = [bytes(b) for b in chunk_blobs]
     starts = [int(s) for s in starts]
     if not chunk_blobs:
         raise ValueError("a chunked archive needs at least one chunk")
     if len(starts) != len(chunk_blobs) + 1:
         raise ValueError("starts must have exactly one more entry than chunk_blobs")
-    offsets, lengths, crcs = [], [], []
-    pos = 0
-    for blob in chunk_blobs:
-        offsets.append(pos)
-        lengths.append(len(blob))
-        crcs.append(zlib.crc32(blob))
-        pos += len(blob)
+    offsets, lengths, crcs = _blob_table(chunk_blobs)
     header = {
         "codec": str(codec),
         "shape": [int(s) for s in shape],
@@ -477,12 +631,190 @@ def build_chunked_archive(*, codec: str, shape: Tuple[int, ...], dtype: str,
         "chunks": {"axis": int(axis), "starts": starts, "offsets": offsets,
                    "lengths": lengths, "crcs": crcs},
     }
-    header_bytes = json.dumps(header, separators=(",", ":"), sort_keys=True).encode()
-    out = bytearray()
-    out += ARCHIVE_MAGIC
-    out += _U16.pack(CHUNKED_ARCHIVE_VERSION)
-    out += _LEN.pack(len(header_bytes))
-    out += header_bytes
-    for blob in chunk_blobs:
-        out += blob
-    return bytes(out)
+    return _assemble_envelope(CHUNKED_ARCHIVE_VERSION, header, chunk_blobs)
+
+
+# ---------------------------------------------------------------------------
+# N-d chunk-grid archive envelope — format version 3
+# ---------------------------------------------------------------------------
+
+# Layout (little endian):
+#   magic "RPRA" | u16 version=3 | u32 header_len | header JSON | tile blobs
+# The header JSON carries {codec, shape, dtype, bound: {mode, value}, meta,
+# grid: {chunk_shape, offsets, lengths, crcs}}.  ``chunk_shape`` is the
+# per-axis tile size; the grid has ``ceil(shape[ax] / chunk_shape[ax])`` tiles
+# along each axis (edge tiles are smaller) and the index arrays enumerate the
+# tiles in **row-major order over the grid**.  Each tile blob is a complete
+# version-1 archive of its sub-array; ``offsets[i]`` / ``lengths[i]`` locate
+# tile ``i`` relative to the end of the header and ``crcs[i]`` is the CRC-32
+# of the whole tile blob.  A reader wanting the sub-cube ``region`` therefore
+# touches only the front header plus the tiles whose per-axis index lies in
+# ``[start // chunk_shape[ax], ceil(stop / chunk_shape[ax]))`` — O(region)
+# bytes, not O(archive).
+
+
+@dataclass
+class GridIndex:
+    """The parsed front matter of a version-3 (N-d chunk grid) archive.
+
+    Mirrors :class:`Archive`'s header attributes (``codec`` / ``shape`` /
+    ``dtype`` / ``bound_mode`` / ``bound_value`` / ``meta``) and exposes the
+    same tile protocol as :class:`ChunkedIndex` (``n_tiles`` /
+    ``tile_slices`` / ``tile_shape`` / ``check_tile`` / ``tile_bytes`` /
+    ``region_tiles``), so region readers treat both formats uniformly.
+    """
+
+    codec: str
+    shape: Tuple[int, ...]
+    dtype: str
+    bound_mode: str
+    bound_value: float
+    chunk_shape: Tuple[int, ...]  # per-axis tile size, len == len(shape)
+    grid_shape: Tuple[int, ...]   # tiles per axis: ceil(shape / chunk_shape)
+    offsets: Tuple[int, ...]      # row-major over the grid, from ``data_start``
+    lengths: Tuple[int, ...]
+    crcs: Tuple[int, ...]
+    data_start: int               # absolute byte offset of the first tile blob
+    meta: dict = field(default_factory=dict)
+    version: int = GRID_ARCHIVE_VERSION
+
+    @property
+    def n_tiles(self) -> int:
+        return len(self.offsets)
+
+    @property
+    def n_points(self) -> int:
+        return int(np.prod(self.shape, dtype=np.int64)) if self.shape else 1
+
+    # --------------------------------------------------------- tile protocol
+    def tile_coords(self, i: int) -> Tuple[int, ...]:
+        """Tile ``i``'s per-axis grid coordinates (row-major flat order)."""
+        if not 0 <= i < self.n_tiles:
+            raise IndexError(f"tile index {i} out of range ({self.n_tiles} tiles)")
+        return tuple(int(c) for c in np.unravel_index(i, self.grid_shape))
+
+    def tile_slices(self, i: int) -> Tuple[slice, ...]:
+        """Tile ``i``'s extent in full-field coordinates, one slice per axis."""
+        return tuple(
+            slice(c * cs, min((c + 1) * cs, dim))
+            for c, cs, dim in zip(self.tile_coords(i), self.chunk_shape, self.shape))
+
+    def tile_shape(self, i: int) -> Tuple[int, ...]:
+        return tuple(s.stop - s.start for s in self.tile_slices(i))
+
+    def check_tile(self, i: int, raw: bytes) -> bytes:
+        """Validate tile ``i``'s bytes (length + CRC-32) as read from storage."""
+        return _check_blob(raw, self.lengths[i], self.crcs[i], f"tile {i}")
+
+    def tile_bytes(self, blob: bytes, i: int) -> bytes:
+        """Slice tile ``i``'s archive out of the full blob, CRC-checked."""
+        if not 0 <= i < self.n_tiles:
+            raise IndexError(f"tile index {i} out of range ({self.n_tiles} tiles)")
+        start = self.data_start + self.offsets[i]
+        end = start + self.lengths[i]
+        if end > len(blob):
+            raise ValueError(f"corrupt archive: truncated tile {i}")
+        return self.check_tile(i, blob[start:end])
+
+    def region_tiles(self, bounds: Sequence[Tuple[int, int]]) -> List[int]:
+        """Flat indices of the tiles intersecting ``bounds``, in row-major order.
+
+        ``bounds`` must be normalized (one ``(start, stop)`` pair per axis,
+        ``0 <= start <= stop <= dim``); an empty axis selects no tiles.
+        """
+        if len(bounds) != len(self.shape):
+            raise ValueError(
+                f"region has {len(bounds)} axes, archive field has {len(self.shape)}")
+        if any(b0 >= b1 for b0, b1 in bounds):
+            return []
+        if not self.shape:
+            return [0]
+        axis_ranges = [range(b0 // cs, -(-b1 // cs))
+                       for (b0, b1), cs in zip(bounds, self.chunk_shape)]
+        return [int(np.ravel_multi_index(coords, self.grid_shape))
+                for coords in itertools.product(*axis_ranges)]
+
+    # -------------------------------------------------------------- parse
+    @classmethod
+    def from_header(cls, header: dict, data_start: int,
+                    total_size: int) -> "GridIndex":
+        """Build (and fully validate) an index from a parsed front header.
+
+        ``total_size`` is the archive's complete byte length — for an
+        in-memory blob ``len(blob)``, for an on-disk archive the file size —
+        so index validation never needs the tile bytes themselves.
+        """
+        codec, shape, dtype, bound_mode, bound_value, meta = \
+            _common_header_fields(header)
+        try:
+            grid = header["grid"]
+            chunk_shape = tuple(int(c) for c in grid["chunk_shape"])
+            offsets = tuple(int(o) for o in grid["offsets"])
+            lengths = tuple(int(n) for n in grid["lengths"])
+            crcs = tuple(int(c) for c in grid["crcs"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ValueError(f"corrupt archive: malformed header ({exc})") from None
+        if len(chunk_shape) != len(shape):
+            raise ValueError(
+                f"corrupt archive: chunk_shape has {len(chunk_shape)} axes, "
+                f"shape has {len(shape)}")
+        if any(c < 1 for c in chunk_shape) or any(d < 1 for d in shape):
+            raise ValueError("corrupt archive: non-positive grid dimensions")
+        grid_shape = grid_shape_of(shape, chunk_shape)
+        n = int(np.prod(grid_shape, dtype=np.int64)) if grid_shape else 1
+        if len(offsets) != n or len(lengths) != n or len(crcs) != n:
+            raise ValueError(
+                f"corrupt archive: grid index has {len(offsets)} tiles, "
+                f"grid shape {grid_shape} needs {n}")
+        _check_contiguous(offsets, lengths, data_start, total_size, "tile")
+        return cls(codec=codec, shape=shape, dtype=dtype, bound_mode=bound_mode,
+                   bound_value=bound_value, chunk_shape=chunk_shape,
+                   grid_shape=grid_shape, offsets=offsets, lengths=lengths,
+                   crcs=crcs, data_start=data_start, meta=meta,
+                   version=GRID_ARCHIVE_VERSION)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "GridIndex":
+        data = bytes(data)
+        version, header, data_start = parse_front(data)
+        if version != GRID_ARCHIVE_VERSION:
+            raise ValueError(
+                f"not a grid archive (version {version}); use Archive.from_bytes "
+                f"or ChunkedIndex.from_bytes"
+            )
+        return cls.from_header(header, data_start, len(data))
+
+
+def build_grid_archive(*, codec: str, shape: Tuple[int, ...], dtype: str,
+                       bound_mode: str, bound_value: float,
+                       chunk_shape: Tuple[int, ...], tile_blobs: Iterable[bytes],
+                       meta: Optional[dict] = None) -> bytes:
+    """Assemble a version-3 grid archive from per-tile version-1 blobs.
+
+    ``tile_blobs`` must enumerate the grid in row-major order (the order
+    ``numpy.ndindex(grid_shape)`` yields).
+    """
+    shape = tuple(int(s) for s in shape)
+    chunk_shape = tuple(int(c) for c in chunk_shape)
+    tile_blobs = [bytes(b) for b in tile_blobs]
+    if len(chunk_shape) != len(shape):
+        raise ValueError(
+            f"chunk_shape has {len(chunk_shape)} axes, shape has {len(shape)}")
+    if any(c < 1 for c in chunk_shape) or any(d < 1 for d in shape):
+        raise ValueError("grid archives need positive shape and chunk_shape entries")
+    grid_shape = grid_shape_of(shape, chunk_shape)
+    n = int(np.prod(grid_shape, dtype=np.int64)) if grid_shape else 1
+    if len(tile_blobs) != n:
+        raise ValueError(
+            f"grid shape {grid_shape} needs {n} tiles, got {len(tile_blobs)}")
+    offsets, lengths, crcs = _blob_table(tile_blobs)
+    header = {
+        "codec": str(codec),
+        "shape": list(shape),
+        "dtype": str(dtype),
+        "bound": {"mode": str(bound_mode), "value": float(bound_value)},
+        "meta": meta or {},
+        "grid": {"chunk_shape": list(chunk_shape), "offsets": offsets,
+                 "lengths": lengths, "crcs": crcs},
+    }
+    return _assemble_envelope(GRID_ARCHIVE_VERSION, header, tile_blobs)

@@ -1,0 +1,136 @@
+"""The byte-level spec in ``docs/format.md`` must match the implementation.
+
+The spec's worked example embeds a full hex dump of a v1 archive.  These
+tests rebuild that archive with today's writer and compare it byte-for-byte
+against the dump parsed **out of the documentation**, so the spec cannot rot:
+change the writer and this fails; change the doc and this fails.
+"""
+
+from __future__ import annotations
+
+import re
+import zlib
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.api import compress_chunked
+from repro.encoding.container import (
+    FRONT_PREFIX,
+    Archive,
+    GridIndex,
+    front_size,
+    parse_front,
+)
+
+FORMAT_MD = Path(__file__).resolve().parents[1] / "docs" / "format.md"
+
+_DUMP_LINE = re.compile(r"^([0-9a-f]{8})\s\s((?:[0-9a-f]{2} ?)+?)\s*\|", re.M)
+
+
+def _documented_bytes() -> bytes:
+    """Parse the worked-example hex dump out of docs/format.md."""
+    text = FORMAT_MD.read_text()
+    matches = _DUMP_LINE.findall(text)
+    assert matches, "docs/format.md no longer contains the worked-example dump"
+    out = bytearray()
+    for offset, hexpart in matches:
+        assert int(offset, 16) == len(out), (
+            f"dump offset {offset} does not match the bytes before it")
+        out += bytes.fromhex(hexpart.replace(" ", ""))
+    return bytes(out)
+
+
+def _example_archive() -> bytes:
+    """The exact constructor call shown in docs/format.md."""
+    return Archive(codec="lossless", shape=(2, 2), dtype="float32",
+                   bound_mode="abs", bound_value=0.5,
+                   payload=b"\x01\x02\x03\x04", meta={},
+                   extra={"note": b"hi"}).to_bytes()
+
+
+class TestWorkedExample:
+    def test_dump_matches_writer_bit_for_bit(self):
+        documented = _documented_bytes()
+        built = _example_archive()
+        assert built == documented, (
+            "the archive writer no longer produces the bytes documented in "
+            "docs/format.md — update the spec together with the format change")
+
+    def test_documented_offsets(self):
+        """The offset walk-through table's key numbers."""
+        blob = _example_archive()
+        assert len(blob) == 193
+        assert blob[:4] == b"RPRA"
+        assert blob[4:6] == b"\x01\x00"                      # version 1
+        (hlen,) = np.frombuffer(blob[6:10], dtype="<u4")
+        assert hlen == 154
+        assert front_size(blob[:FRONT_PREFIX]) == 10 + 154   # data_start
+        assert blob[0xa4:0xac] == (4).to_bytes(8, "little")  # payload length
+        assert blob[0xac:0xb0] == b"\x01\x02\x03\x04"        # payload
+        assert blob[0xb0] == 1                               # n_extra
+        assert blob[0xb3:0xb7] == b"note"
+        assert blob[0xbf:0xc1] == b"hi"
+
+    def test_documented_crcs(self):
+        assert zlib.crc32(b"hi") == 3633523372
+        assert zlib.crc32(b"\x01\x02\x03\x04") == 3057449933
+
+    def test_header_json_is_canonical(self):
+        """Sorted keys + no whitespace: one byte representation per header."""
+        blob = _example_archive()
+        version, header, data_start = parse_front(blob)
+        assert version == 1
+        import json
+
+        canonical = json.dumps(header, separators=(",", ":"),
+                               sort_keys=True).encode()
+        assert blob[FRONT_PREFIX:data_start] == canonical
+
+
+class TestGridSpecExample:
+    """The v3 self-check block from docs/format.md, plus layout invariants."""
+
+    def test_grid_index_math_as_documented(self):
+        field = np.arange(20.0 * 12).reshape(20, 12)
+        blob = compress_chunked(field, codec="lossless", bound=1e-3,
+                                chunk_shape=(8, 8))
+        index = GridIndex.from_bytes(blob)
+        assert index.grid_shape == (3, 2)
+        assert index.n_tiles == 6
+        assert index.tile_slices(0) == (slice(0, 8), slice(0, 8))
+        assert index.tile_slices(5) == (slice(16, 20), slice(8, 12))
+        assert index.offsets[0] == 0
+        assert index.offsets[2] == index.offsets[1] + index.lengths[1]
+        assert index.region_tiles(((4, 10), (10, 12))) == [1, 3]
+
+    def test_row_major_matches_ravel_multi_index(self):
+        field = np.arange(9.0 * 10 * 4).reshape(9, 10, 4)
+        blob = compress_chunked(field, codec="lossless", bound=1e-3,
+                                chunk_shape=(4, 4, 3))
+        index = GridIndex.from_bytes(blob)
+        for coords in np.ndindex(*index.grid_shape):
+            flat = int(np.ravel_multi_index(coords, index.grid_shape))
+            assert index.tile_coords(flat) == coords
+
+    def test_tiles_are_complete_v1_archives(self):
+        field = np.arange(20.0 * 12).reshape(20, 12)
+        blob = compress_chunked(field, codec="lossless", bound=1e-3,
+                                chunk_shape=(8, 8))
+        index = GridIndex.from_bytes(blob)
+        for i in range(index.n_tiles):
+            tile = Archive.from_bytes(index.tile_bytes(blob, i))
+            assert tile.codec == "lossless"
+            assert tile.shape == index.tile_shape(i)
+
+    def test_offsets_exhaust_the_file(self):
+        field = np.arange(20.0 * 12).reshape(20, 12)
+        blob = compress_chunked(field, codec="lossless", bound=1e-3,
+                                chunk_shape=(8, 8))
+        index = GridIndex.from_bytes(blob)
+        assert index.data_start + index.offsets[-1] + index.lengths[-1] == len(blob)
+        with pytest.raises(ValueError, match="corrupt archive"):
+            GridIndex.from_bytes(blob + b"\x00")
+        with pytest.raises(ValueError, match="corrupt archive"):
+            GridIndex.from_bytes(blob[:-1])

@@ -21,7 +21,7 @@ import numpy as np
 import pytest
 
 import repro
-from repro.encoding.container import Archive, ChunkedIndex, archive_version
+from repro.encoding.container import Archive, ChunkedIndex, GridIndex, archive_version
 
 GOLDEN = Path(__file__).resolve().parent / "golden"
 MANIFEST = json.loads((GOLDEN / "manifest.json").read_text())
@@ -47,12 +47,21 @@ def test_golden_archive_decodes(entry):
     assert header.shape == original.shape
     assert header.bound_mode == entry["bound_mode"]
     assert header.bound_value == entry["bound_value"]
-    assert archive_version(blob) == (2 if entry["chunked"] else 1)
-    assert isinstance(header, ChunkedIndex if entry["chunked"] else Archive)
+    expected_version = entry.get("version", 2 if entry["chunked"] else 1)
+    assert archive_version(blob) == expected_version
+    assert isinstance(header, {1: Archive, 2: ChunkedIndex,
+                               3: GridIndex}[expected_version])
 
     autoencoder = None if entry["embed_model"] else _rebuild_model(entry["codec"])
     recon = repro.decompress(blob, autoencoder=autoencoder)
     assert recon.shape == original.shape
+
+    if expected_version == 3:
+        # The random-access path must read the pinned layout too: a corner
+        # region equals the same slice of the full reconstruction.
+        corner = tuple(slice(d // 3, d) for d in original.shape)
+        piece = repro.read_region(blob, corner)
+        assert np.array_equal(piece, recon[corner])
 
     if entry["bitwise"]:
         assert np.array_equal(recon.view(np.uint64), expected.view(np.uint64)), (
