@@ -69,6 +69,7 @@ from repro.registry import (
     get_compressor,
     register_compressor,
 )
+from repro.store import ArchiveStore, TileCache
 
 __version__ = "1.1.0"
 
@@ -82,6 +83,8 @@ __all__ = [
     "read_region",
     "roundtrip",
     "read_header",
+    "ArchiveStore",
+    "TileCache",
     "ErrorBound",
     "Rel",
     "Abs",

@@ -667,7 +667,12 @@ def _decompress_chunked(blob: bytes, *, model=None, autoencoder=None,
 # ---------------------------------------------------------------------------
 
 class _BytesReader:
-    """Random-access reads over an in-memory archive blob."""
+    """Random-access reads over an in-memory archive blob.
+
+    Reads are slices of an immutable bytes object, so one instance is safe
+    to share across threads (the store serves in-memory archives through it
+    directly; only ``bytes_read`` accounting may undercount under races).
+    """
 
     def __init__(self, data):
         self._data = bytes(data)
@@ -685,6 +690,9 @@ class _BytesReader:
     def read_all(self) -> bytes:
         self.bytes_read += len(self._data)
         return self._data
+
+    def close(self) -> None:
+        pass
 
     def __enter__(self):
         return self
@@ -727,7 +735,16 @@ class _FileReader:
         return False
 
 
-def _open_reader(source):
+def open_reader(source):
+    """Open a random-access reader over archive bytes or an archive path.
+
+    The returned object exposes ``size`` / ``read_at(offset, length)`` /
+    ``read_all()`` and works as a context manager.  This is the I/O seam the
+    region decoder and :class:`repro.store.ArchiveStore` share; note the file
+    variant holds one seekable handle, so a single reader instance must not be
+    shared across threads (the store keeps per-archive ``pread`` handles
+    instead).
+    """
     if isinstance(source, (bytes, bytearray, memoryview)):
         return _BytesReader(source)
     if isinstance(source, (str, os.PathLike)):
@@ -737,7 +754,7 @@ def _open_reader(source):
         f"{type(source)!r}")
 
 
-def _load_index(reader) -> Union[Archive, ChunkedIndex, GridIndex]:
+def load_index(reader) -> Union[Archive, ChunkedIndex, GridIndex]:
     """Parse an archive's index from a reader, touching O(header) bytes.
 
     Version-1 archives have no tile table, so they are read whole; chunked
@@ -759,6 +776,53 @@ def _load_index(reader) -> Union[Archive, ChunkedIndex, GridIndex]:
         f"unsupported archive version {version} (this build reads versions "
         f"{ARCHIVE_VERSION}, {CHUNKED_ARCHIVE_VERSION} and "
         f"{GRID_ARCHIVE_VERSION})")
+
+
+# Backwards-compatible private aliases (pre-store internal names).
+_open_reader = open_reader
+_load_index = load_index
+
+
+def _check_tile_shape(index, i: int, tile: np.ndarray) -> np.ndarray:
+    """Validate a decoded tile's shape against the index (shared by every path)."""
+    if tuple(tile.shape) != index.tile_shape(i):
+        raise ValueError(
+            f"corrupt archive: tile {i} decoded to shape "
+            f"{tuple(tile.shape)}, index says {index.tile_shape(i)}")
+    return tile
+
+
+def decode_tile(index, i: int, raw: bytes, *, model=None, autoencoder=None,
+                codec_options: Optional[dict] = None) -> np.ndarray:
+    """Decode one CRC-checked tile blob and validate its shape against ``index``.
+
+    ``raw`` must already have passed ``index.check_tile(i, ...)`` (the check
+    belongs next to the read so corrupt bytes fail before any decode work).
+    This is the single-tile decode + validate step the
+    :class:`repro.store.ArchiveStore` tile cache runs; the streaming region
+    reader decodes through its worker pool and applies the same
+    shape validation.
+    """
+    return _check_tile_shape(
+        index, i, _decompress_archive(raw, model=model,
+                                      autoencoder=autoencoder,
+                                      codec_options=codec_options))
+
+
+def tile_crop(bounds, tile_slices) -> Tuple[Tuple[slice, ...], Tuple[slice, ...]]:
+    """Intersect a tile with a region: ``(local_slices, inner_slices)``.
+
+    ``bounds`` is a normalized region (per-axis ``(start, stop)``);
+    ``tile_slices`` the tile's extent in full-field coordinates.  The caller
+    places ``tile[inner_slices]`` at ``result[local_slices]`` of the
+    region-shaped output.
+    """
+    local, inner = [], []
+    for (b0, b1), s in zip(bounds, tile_slices):
+        lo, hi = max(b0, s.start), min(b1, s.stop)
+        local.append(slice(lo - b0, hi - b0))
+        inner.append(slice(lo - s.start, hi - s.start))
+    return tuple(local), tuple(inner)
 
 
 def normalize_region(region, shape: Tuple[int, ...]) -> Tuple[Tuple[int, int], ...]:
@@ -879,8 +943,8 @@ def iter_region_tiles(source, region, *, model=None, autoencoder=None,
     """
     if isinstance(region, str):
         region = parse_region(region)
-    with _open_reader(source) as reader:
-        index = _load_index(reader)
+    with open_reader(source) as reader:
+        index = load_index(reader)
         bounds = normalize_region(region, index.shape)
         yield from _iter_tiles_for_region(reader, index, bounds, model=model,
                                           autoencoder=autoencoder,
@@ -914,16 +978,9 @@ def _iter_tiles_for_region(reader, index, bounds, *, model=None,
             for i in tiles)
     for i, tile in zip(tiles, parallel_imap(_decompress_chunk_job, jobs,
                                             workers=workers)):
-        if tuple(tile.shape) != index.tile_shape(i):
-            raise ValueError(
-                f"corrupt archive: tile {i} decoded to shape "
-                f"{tuple(tile.shape)}, index says {index.tile_shape(i)}")
-        local, inner = [], []
-        for (b0, b1), s in zip(bounds, index.tile_slices(i)):
-            lo, hi = max(b0, s.start), min(b1, s.stop)
-            local.append(slice(lo - b0, hi - b0))
-            inner.append(slice(lo - s.start, hi - s.start))
-        yield tuple(local), tile[tuple(inner)]
+        _check_tile_shape(index, i, tile)
+        local, inner = tile_crop(bounds, index.tile_slices(i))
+        yield local, tile[inner]
 
 
 def read_region(source, region, *, model=None, autoencoder=None,
@@ -951,8 +1008,8 @@ def read_region(source, region, *, model=None, autoencoder=None,
     """
     if isinstance(region, str):
         region = parse_region(region)
-    with _open_reader(source) as reader:
-        index = _load_index(reader)
+    with open_reader(source) as reader:
+        index = load_index(reader)
         bounds = normalize_region(region, index.shape)
         region_shape = tuple(b1 - b0 for b0, b1 in bounds)
         if out is not None and tuple(out.shape) != region_shape:
@@ -1007,8 +1064,8 @@ def read_header(source) -> Union[Archive, ChunkedIndex, GridIndex]:
     (``python -m repro info`` uses it).  For a path to a v2/v3 archive only
     the front header is read, however large the file.
     """
-    with _open_reader(source) as reader:
-        return _load_index(reader)
+    with open_reader(source) as reader:
+        return load_index(reader)
 
 
 def decompress(blob: bytes, *, model=None, autoencoder=None,
@@ -1126,6 +1183,7 @@ def roundtrip(data, codec="sz21", bound=1e-3, *, codec_options: Optional[dict] =
     )
 
 
-__all__ = ["compress", "compress_chunked", "decompress", "iter_decompressed_chunks",
-           "iter_region_tiles", "normalize_region", "parse_region", "read_header",
-           "read_region", "roundtrip", "DEFAULT_CHUNK_ELEMS"]
+__all__ = ["compress", "compress_chunked", "decode_tile", "decompress",
+           "iter_decompressed_chunks", "iter_region_tiles", "load_index",
+           "normalize_region", "open_reader", "parse_region", "read_header",
+           "read_region", "roundtrip", "tile_crop", "DEFAULT_CHUNK_ELEMS"]

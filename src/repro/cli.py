@@ -1,4 +1,4 @@
-"""Command-line interface: train, compress, decompress, inspect and list codecs.
+"""Command-line interface: train, compress, decompress, serve, inspect, list codecs.
 
 Gives the library the same day-to-day ergonomics as the SZ/ZFP command-line
 tools.  ``compress`` writes self-describing archives (codec id, shape, dtype,
@@ -35,6 +35,11 @@ discovered through :mod:`repro.registry`, so new compressors show up in
 
     # random-access region decode: reads only the intersecting tiles
     python -m repro extract big.rpra corner.f32 --region "10:20,0:64,5:9"
+
+    # serve region reads over HTTP: archives stay open, headers parse once,
+    # decoded tiles are shared through a size-bounded LRU cache
+    python -m repro serve field=big.rpra --port 8000 --cache-mb 256
+    # GET /v1/field/region?r=10:20,0:64,5:9 -> raw bytes (+ shape/dtype headers)
 
     # decompress: the archive knows its codec, dims, dtype and model hash
     python -m repro decompress snapshot9.rpra snapshot9.out.f32 --model swae.npz
@@ -194,6 +199,26 @@ def build_parser() -> argparse.ArgumentParser:
     ext.add_argument("--model", help=".npz model (aesz archives without an "
                                      "embedded model)")
 
+    # ------------------------------------------------------------------ serve
+    srv = sub.add_parser("serve",
+                         help="serve region reads from archives over HTTP "
+                              "(thread-safe store + decoded-tile LRU cache)")
+    srv.add_argument("archives", nargs="+", metavar="KEY=PATH",
+                     help="archives to serve, each KEY=PATH (KEY becomes the "
+                          "/v1/KEY/... URL segment) or a bare PATH (key = "
+                          "file stem)")
+    srv.add_argument("--host", default="127.0.0.1",
+                     help="bind address (default 127.0.0.1)")
+    srv.add_argument("--port", type=int, default=8000,
+                     help="TCP port (0 = pick a free port and print it)")
+    srv.add_argument("--cache-mb", type=float, default=256.0,
+                     help="decoded-tile LRU cache budget in MB (default 256)")
+    srv.add_argument("--model", help=".npz model for AE archives written "
+                                     "with embed_model=False (applies to "
+                                     "every served archive)")
+    srv.add_argument("--verbose", action="store_true",
+                     help="log one line per request to stderr")
+
     # ------------------------------------------------------------------- info
     info = sub.add_parser("info",
                           help="inspect an archive (codec, dims, bound, chunk grid), "
@@ -347,6 +372,46 @@ def _cmd_extract(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.store import ArchiveStore, make_server
+
+    store = ArchiveStore(cache_bytes=int(args.cache_mb * 1024 * 1024))
+    try:
+        for spec in args.archives:
+            key, sep, path = spec.partition("=")
+            # KEY=PATH only when the left side could be a key and the whole
+            # spec is not itself a file — a '=' inside a bare path
+            # (/data/run=3/f.rpra, run=3.rpra) must not split it.
+            if (not sep or "/" in key or "\\" in key
+                    or Path(spec).is_file()):
+                key, path = Path(spec).stem, spec
+            store.add(key, path, model=args.model)
+    except (OSError, ValueError) as exc:
+        store.close()
+        raise SystemExit(str(exc))
+    try:
+        server = make_server(store, args.host, args.port,
+                             quiet=not args.verbose)
+    except OSError as exc:  # e.g. the port is already in use
+        store.close()
+        raise SystemExit(f"cannot bind {args.host}:{args.port}: {exc}")
+    for key in store.keys():
+        index = store.info(key)
+        print(f"  {server.url}/v1/{key}/region?r=...  "
+              f"[{index.codec}, shape {index.shape}, dtype {index.dtype}]")
+    # The port line last, flushed: launchers (tests, scripts) wait for it.
+    print(f"serving {len(store.keys())} archive(s) on {server.url} "
+          f"(Ctrl-C to stop)", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+        store.close()
+    return 0
+
+
 def _grid_summary(header) -> str:
     """One line describing how an archive is chunked (for `repro info`)."""
     if hasattr(header, "grid_shape"):  # v3 N-d grid
@@ -409,7 +474,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {"list": _cmd_list, "train": _cmd_train, "compress": _cmd_compress,
                 "decompress": _cmd_decompress, "extract": _cmd_extract,
-                "info": _cmd_info}
+                "serve": _cmd_serve, "info": _cmd_info}
     return handlers[args.command](args)
 
 

@@ -375,6 +375,21 @@ def _check_contiguous(offsets: Sequence[int], lengths: Sequence[int],
         raise ValueError(f"corrupt archive: {-missing} trailing bytes")
 
 
+def _index_tile_key(index, i: int) -> Tuple[int, int, int, int]:
+    """Shared ``tile_key`` implementation for both index classes.
+
+    ``(tile index, byte offset, length, CRC-32)`` from the front-header index
+    table alone — no tile bytes read or hashed — so a decoded-tile cache can
+    key on ``(archive identity, tile_key)`` and an in-place rewrite of the
+    tile (new CRC, almost surely new offset/length) can never alias a stale
+    entry.
+    """
+    if not 0 <= i < index.n_tiles:
+        raise IndexError(f"tile index {i} out of range ({index.n_tiles} tiles)")
+    return (int(i), int(index.offsets[i]), int(index.lengths[i]),
+            int(index.crcs[i]))
+
+
 def _check_blob(raw: bytes, length: int, crc: int, label: str) -> bytes:
     """Validate one chunk/tile blob (length + CRC-32) as read from storage."""
     import zlib
@@ -530,6 +545,11 @@ class ChunkedIndex:
     def check_tile(self, i: int, raw: bytes) -> bytes:
         """Validate tile ``i``'s bytes (length + CRC-32) as read from storage."""
         return _check_blob(raw, self.lengths[i], self.crcs[i], f"chunk {i}")
+
+    def tile_key(self, i: int) -> Tuple[int, int, int, int]:
+        """Cheap per-tile cache key from the index table alone
+        (see :func:`_index_tile_key`)."""
+        return _index_tile_key(self, i)
 
     def tile_bytes(self, blob: bytes, i: int) -> bytes:
         return self.chunk_bytes(blob, i)
@@ -705,6 +725,11 @@ class GridIndex:
     def check_tile(self, i: int, raw: bytes) -> bytes:
         """Validate tile ``i``'s bytes (length + CRC-32) as read from storage."""
         return _check_blob(raw, self.lengths[i], self.crcs[i], f"tile {i}")
+
+    def tile_key(self, i: int) -> Tuple[int, int, int, int]:
+        """Cheap per-tile cache key from the index table alone
+        (see :func:`_index_tile_key`)."""
+        return _index_tile_key(self, i)
 
     def tile_bytes(self, blob: bytes, i: int) -> bytes:
         """Slice tile ``i``'s archive out of the full blob, CRC-checked."""

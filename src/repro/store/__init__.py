@@ -1,0 +1,36 @@
+"""Concurrent archive read service: shared caches + a thread-safe store + HTTP.
+
+The one-shot facade (:func:`repro.read_region`) re-opens the file, re-parses
+the header and re-decodes every intersecting tile on each call — right for a
+CLI, wrong for serving many region reads over the same hot archives.  This
+package is the serving layer:
+
+* :class:`TileCache` — a size-bounded, thread-safe LRU over decoded tiles
+  with single-flight loading (concurrent readers of the same tile block on
+  one decode instead of repeating it).
+* :class:`ArchiveStore` — keeps archives open by key, parses each header
+  exactly once, and serves ``read_region`` / ``read_regions`` through the
+  shared cache using lock-free positional reads (``os.pread``).
+* :func:`make_server` — a stdlib-only threaded HTTP endpoint over a store
+  (``GET /v1/<key>/region?r=10:20,0:64,5:9`` → raw bytes plus a
+  JSON-described header), wired to the CLI as ``python -m repro serve``.
+"""
+
+from repro.store.cache import DEFAULT_CACHE_BYTES, TileCache
+from repro.store.store import ArchiveStore
+
+__all__ = ["ArchiveStore", "DEFAULT_CACHE_BYTES", "StoreHTTPServer",
+           "TileCache", "make_server"]
+
+_SERVER_NAMES = ("StoreHTTPServer", "make_server")
+
+
+def __getattr__(name):
+    # The HTTP shell drags in http.server/socketserver; load it only when a
+    # server symbol is actually requested, so plain `import repro` (library
+    # use, CLI compress, every test worker) stays lean.
+    if name in _SERVER_NAMES:
+        from repro.store import server
+
+        return getattr(server, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,188 @@
+"""Stdlib-only HTTP read service over an :class:`ArchiveStore`.
+
+One thread per request (``ThreadingHTTPServer``) on top of the store's
+thread-safe cached read path — the serving shape the paper's amortized
+workflow wants: one long-lived process holding the parsed headers and the
+decoded-tile cache, many concurrent clients pulling regions.
+
+Routes (GET only):
+
+``/healthz``
+    Liveness + the store's cache/read counters, as JSON.
+``/v1/<key>/info``
+    The archive's header as JSON: codec, shape, dtype, bound, envelope
+    version and (for chunked/grid archives) the tile geometry.
+``/v1/<key>/region?r=10:20,0:64,5:9``
+    The decoded region as raw bytes (C order), described by response
+    headers: ``X-Repro-Shape`` / ``X-Repro-Dtype`` plus ``X-Repro-Header``,
+    a JSON object carrying both and the normalized region.  Reconstruct with
+    ``numpy.frombuffer(body, dtype).reshape(shape)``.
+
+Errors are JSON bodies ``{"error": ...}``: 400 for a malformed or mismatched
+region, 404 for unknown keys/paths, 500 for decode failures (e.g. a corrupt
+tile).  A 500 is scoped to the affected request — failed decodes are never
+cached, so other regions (and retries) keep serving.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Tuple
+from urllib.parse import parse_qs, unquote, urlparse
+
+import numpy as np
+
+from repro.api import normalize_region, parse_region
+from repro.store.store import ArchiveStore
+
+
+class StoreRequestHandler(BaseHTTPRequestHandler):
+    """Routes one request into the server's :class:`ArchiveStore`."""
+
+    server_version = "repro-serve/1"
+    protocol_version = "HTTP/1.1"  # keep-alive; every response sets Content-Length
+
+    # ----------------------------------------------------------------- routes
+    def do_GET(self) -> None:  # noqa: N802 (http.server naming)
+        try:
+            parsed = urlparse(self.path)
+            parts = [unquote(p) for p in parsed.path.split("/") if p]
+            if parts == ["healthz"]:
+                self._healthz()
+            elif len(parts) == 3 and parts[0] == "v1" and parts[2] == "info":
+                self._info(parts[1])
+            elif len(parts) == 3 and parts[0] == "v1" and parts[2] == "region":
+                self._region(parts[1], parse_qs(parsed.query))
+            else:
+                self._send_json(404, {"error": f"no route for {parsed.path!r}"})
+        except (BrokenPipeError, ConnectionResetError):  # pragma: no cover
+            pass  # client went away mid-response; nothing to salvage
+
+    def _healthz(self) -> None:
+        self._send_json(200, {"status": "ok",
+                              "archives": list(self.server.store.keys()),
+                              "stats": self.server.store.stats()})
+
+    def _info(self, key: str) -> None:
+        index = self._index_or_404(key)
+        if index is None:
+            return
+        info = {
+            "key": key,
+            "codec": index.codec,
+            "shape": list(index.shape),
+            "dtype": index.dtype,
+            "bound": {"mode": index.bound_mode, "value": index.bound_value},
+            "version": index.version,
+        }
+        if hasattr(index, "grid_shape"):  # v3 N-d grid
+            info["chunk_shape"] = list(index.chunk_shape)
+            info["grid_shape"] = list(index.grid_shape)
+            info["n_tiles"] = index.n_tiles
+        elif hasattr(index, "n_chunks"):  # v2 axis-0 slabs
+            info["axis"] = index.axis
+            info["n_tiles"] = index.n_chunks
+        else:
+            info["n_tiles"] = 1
+        self._send_json(200, info)
+
+    def _region(self, key: str, query: dict) -> None:
+        spec = (query.get("r") or query.get("region") or [None])[0]
+        if spec is None:
+            self._send_json(400, {"error": "missing r= query parameter "
+                                           "(e.g. ?r=10:20,0:64,5:9)"})
+            return
+        index = self._index_or_404(key)
+        if index is None:
+            return
+        try:
+            region = parse_region(spec)
+            bounds = normalize_region(region, index.shape)
+        except ValueError as exc:  # the client's region is at fault: 4xx
+            self._send_json(400, {"error": str(exc)})
+            return
+        try:
+            arr = self.server.store.read_region(key, region)
+        except KeyError as exc:
+            # The key vanished between the info lookup and the read (a
+            # concurrent remove): same outcome as never having existed.
+            self._send_json(404, {"error": str(exc)})
+            return
+        except (ValueError, OSError) as exc:
+            # The archive (not the request) is at fault — corrupt tile bytes,
+            # shape mismatch after decode, I/O failure.  Nothing was cached,
+            # so other regions of this archive keep serving and retries
+            # re-attempt.
+            self._send_json(500, {"error": str(exc)})
+            return
+        body = np.ascontiguousarray(arr).tobytes()
+        meta = {
+            "key": key,
+            "region": [[b0, b1] for b0, b1 in bounds],
+            "shape": list(arr.shape),
+            "dtype": str(arr.dtype),
+            "order": "C",
+        }
+        self.send_response(200)
+        self.send_header("Content-Type", "application/octet-stream")
+        self.send_header("Content-Length", str(len(body)))
+        self.send_header("X-Repro-Shape", ",".join(str(s) for s in arr.shape))
+        self.send_header("X-Repro-Dtype", str(arr.dtype))
+        self.send_header("X-Repro-Header", json.dumps(meta, sort_keys=True))
+        self.end_headers()
+        self.wfile.write(body)
+
+    # ---------------------------------------------------------------- helpers
+    def _index_or_404(self, key: str):
+        try:
+            return self.server.store.info(key)
+        except KeyError as exc:
+            self._send_json(404, {"error": str(exc)})
+            return None
+        except ValueError as exc:
+            # "store is closed": a request raced the shutdown path.  Answer
+            # it cleanly instead of dying with a traceback mid-connection.
+            self._send_json(503, {"error": str(exc)})
+            return None
+
+    def _send_json(self, code: int, obj: dict) -> None:
+        body = json.dumps(obj, sort_keys=True).encode()
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, fmt, *args) -> None:
+        if not getattr(self.server, "quiet", True):  # pragma: no cover
+            super().log_message(fmt, *args)
+
+
+class StoreHTTPServer(ThreadingHTTPServer):
+    """A threaded HTTP server bound to one :class:`ArchiveStore`."""
+
+    daemon_threads = True  # in-flight requests never block process exit
+
+    def __init__(self, address: Tuple[str, int], store: ArchiveStore, *,
+                 quiet: bool = True):
+        super().__init__(address, StoreRequestHandler)
+        self.store = store
+        self.quiet = quiet
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+
+def make_server(store: ArchiveStore, host: str = "127.0.0.1", port: int = 0,
+                *, quiet: bool = True) -> StoreHTTPServer:
+    """Bind a :class:`StoreHTTPServer` (``port=0`` picks a free port).
+
+    The caller drives it: ``serve_forever()`` inline (what ``repro serve``
+    does after printing the bound URL), or on a thread for embedding
+    (``threading.Thread(target=server.serve_forever).start()``), and
+    ``shutdown()`` + ``server_close()`` to stop.
+    """
+    return StoreHTTPServer((host, port), store, quiet=quiet)

@@ -1,0 +1,450 @@
+"""A thread-safe, caching archive store: the hot read path of the serving layer.
+
+:func:`repro.read_region` is stateless: every call re-opens the file,
+re-parses the front header and re-decodes each intersecting tile.
+:class:`ArchiveStore` amortizes all three across requests:
+
+* **Archives stay open** — registered once under a string key, each archive
+  gets a long-lived positional-read handle (``os.pread`` where available, so
+  concurrent reads never contend on a shared seek pointer) and its header is
+  parsed exactly once, at :meth:`add` time.
+* **Decoded tiles are shared** — all requests go through one size-bounded
+  :class:`repro.store.cache.TileCache`; its single-flight loading guarantees
+  a tile decodes at most once per cache residency even under heavy
+  concurrency.
+* **Results are bit-identical to the cold path** — a store read assembles the
+  same CRC-checked, shape-checked tile decodes as ``repro.read_region``;
+  only the bookkeeping is amortized.
+
+Every public method is safe to call from many threads at once.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.api import (
+    _BytesReader,
+    _decompress_parsed,
+    _store_chunk,
+    decode_tile,
+    load_index,
+    normalize_region,
+    parse_region,
+    tile_crop,
+)
+from repro.encoding.container import Archive, ChunkedIndex, GridIndex
+from repro.registry import compressor_spec
+from repro.store.cache import DEFAULT_CACHE_BYTES, TileCache
+
+IndexType = Union[Archive, ChunkedIndex, GridIndex]
+
+
+# ---------------------------------------------------------------------------
+# Concurrency-safe random-access handles
+# ---------------------------------------------------------------------------
+
+class _PReadHandle:
+    """Positional reads over one open file descriptor.
+
+    ``os.pread`` takes the offset explicitly, so any number of threads can
+    read through the same descriptor without a lock or a shared seek pointer.
+    On platforms without ``pread`` (Windows), a lock + seek/read fallback
+    keeps the same interface.
+    """
+
+    def __init__(self, path):
+        # O_BINARY matters exactly where the fallback does (Windows): without
+        # it the CRT text mode mangles \r\n and stops at 0x1A mid-payload.
+        self._fd = os.open(os.fspath(path),
+                           os.O_RDONLY | getattr(os, "O_BINARY", 0))
+        self.size = os.fstat(self._fd).st_size
+        self._fallback_lock = None if hasattr(os, "pread") else threading.Lock()
+
+    def read_at(self, offset: int, length: int) -> bytes:
+        # Loop on short reads: one pread caps at ~2 GiB on Linux, and either
+        # syscall may return less than asked near resource limits.
+        parts = []
+        got = 0
+        while got < length:
+            if self._fallback_lock is None:
+                chunk = os.pread(self._fd, length - got, offset + got)
+            else:
+                with self._fallback_lock:
+                    os.lseek(self._fd, offset + got, os.SEEK_SET)
+                    chunk = os.read(self._fd, length - got)
+            if not chunk:
+                break  # EOF: callers detect truncation via length/CRC checks
+            parts.append(chunk)
+            got += len(chunk)
+        return parts[0] if len(parts) == 1 else b"".join(parts)
+
+    def read_all(self) -> bytes:
+        return self.read_at(0, self.size)
+
+    def close(self) -> None:
+        fd, self._fd = self._fd, -1
+        if fd >= 0:
+            os.close(fd)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False
+
+
+def _open_handle(source):
+    """A thread-safe random-access handle: pread for files, slices for bytes.
+
+    In-memory sources reuse :class:`repro.api._BytesReader` directly —
+    slicing immutable bytes is lock-free; only file handles need the
+    positional-read treatment above.
+    """
+    if isinstance(source, (bytes, bytearray, memoryview)):
+        return _BytesReader(source)
+    if isinstance(source, (str, os.PathLike)):
+        return _PReadHandle(source)
+    raise TypeError(
+        f"source must be archive bytes or a path to an archive file, got "
+        f"{type(source)!r}")
+
+
+# ---------------------------------------------------------------------------
+# The store
+# ---------------------------------------------------------------------------
+
+class _Entry:
+    """One registered archive: parsed index + read handle + decode options.
+
+    The handle's lifetime is pin-counted: every in-flight read holds a pin,
+    and :meth:`retire` (from ``remove``/``close``) defers the actual
+    ``handle.close()`` until the last pin drops — so a concurrent reader can
+    never hit a closed (or kernel-reused) file descriptor.
+    """
+
+    __slots__ = ("key", "handle", "index", "token", "decode_opts",
+                 "_pin_lock", "_pins", "_retired")
+
+    def __init__(self, key: str, handle, index: IndexType, decode_opts: dict):
+        self.key = key
+        self.handle = handle
+        self.index = index
+        # Cache keys are scoped by this token object.  Identity-unique, and
+        # alive exactly as long as any cache key referencing it, so a removed
+        # and re-added archive can never alias another entry's cached tiles
+        # (even across stores sharing one TileCache).
+        self.token = object()
+        self.decode_opts = decode_opts
+        self._pin_lock = threading.Lock()
+        self._pins = 0
+        self._retired = False
+
+    def pin(self) -> None:
+        with self._pin_lock:
+            if self._retired:
+                raise KeyError(f"no archive registered under key {self.key!r}")
+            self._pins += 1
+
+    def unpin(self) -> None:
+        with self._pin_lock:
+            self._pins -= 1
+            close_now = self._retired and self._pins == 0
+        if close_now:
+            self.handle.close()
+
+    def retire(self) -> None:
+        """Mark dead; the handle closes when the last in-flight read unpins."""
+        with self._pin_lock:
+            if self._retired:
+                return
+            self._retired = True
+            close_now = self._pins == 0
+        if close_now:
+            self.handle.close()
+
+    @property
+    def is_v1(self) -> bool:
+        return isinstance(self.index, Archive)
+
+    def region_tiles(self, bounds) -> List[int]:
+        if self.is_v1:
+            # A single-shot archive is one logical tile covering the field.
+            return [] if any(b0 >= b1 for b0, b1 in bounds) else [0]
+        return self.index.region_tiles(bounds)
+
+    def tile_slices(self, i: int) -> Tuple[slice, ...]:
+        if self.is_v1:
+            return tuple(slice(0, d) for d in self.index.shape)
+        return self.index.tile_slices(i)
+
+    def cache_key(self, i: int):
+        if self.is_v1:
+            return (self.token, 0)
+        return (self.token,) + self.index.tile_key(i)
+
+
+class ArchiveStore:
+    """Keeps archives open and serves cached, thread-safe region reads.
+
+    Archives are registered with :meth:`add` under a caller-chosen key; their
+    headers are parsed once and every subsequent :meth:`read_region` /
+    :meth:`read_regions` touches only the front-header-free fast path: cached
+    decoded tiles, or positional reads + CRC check + decode for cold ones.
+
+    ``cache_bytes`` bounds the decoded-tile LRU (see
+    :class:`repro.store.cache.TileCache`); pass ``cache=`` to share one cache
+    across several stores.  All methods are thread-safe; reads of different
+    tiles run fully in parallel, reads of the same cold tile coalesce into a
+    single decode.
+    """
+
+    def __init__(self, *, cache_bytes: int = DEFAULT_CACHE_BYTES,
+                 cache: Optional[TileCache] = None):
+        self._cache = cache if cache is not None else TileCache(cache_bytes)
+        self._lock = threading.Lock()
+        self._entries: Dict[str, _Entry] = {}
+        self._closed = False
+        self._stats_lock = threading.Lock()
+        self._tile_decodes = 0
+        self._region_reads = 0
+
+    # ------------------------------------------------------------- lifecycle
+    def add(self, key: str, source, *, model=None, autoencoder=None,
+            codec_options: Optional[dict] = None) -> str:
+        """Open ``source`` (path or bytes) and register it under ``key``.
+
+        The header is read and validated here — exactly once per archive —
+        and the codec must be known to the registry.  ``model`` /
+        ``autoencoder`` / ``codec_options`` become the decode context for
+        every tile of this archive.  Returns ``key``.
+        """
+        if not isinstance(key, str) or not key:
+            raise ValueError(f"archive key must be a non-empty string, got {key!r}")
+        if "/" in key:
+            raise ValueError(
+                f"archive key {key!r} must not contain '/' (keys are one URL "
+                f"path segment of the serve endpoint)")
+        handle = _open_handle(source)
+        try:
+            index = load_index(handle)
+            compressor_spec(index.codec)  # unknown codec fails at add time
+        except BaseException:
+            handle.close()
+            raise
+        decode_opts = {"model": model, "autoencoder": autoencoder,
+                       "codec_options": codec_options}
+        entry = _Entry(key, handle, index, decode_opts)
+        with self._lock:
+            if self._closed:
+                handle.close()
+                raise ValueError("store is closed")
+            if key in self._entries:
+                handle.close()
+                raise ValueError(f"archive key {key!r} is already registered")
+            self._entries[key] = entry
+        return key
+
+    def remove(self, key: str) -> None:
+        """Deregister ``key``; its handle closes once in-flight reads drain.
+
+        Cached tiles of the removed archive become unreachable (their keys
+        are scoped to the dead entry) and age out of the LRU naturally.
+        """
+        with self._lock:
+            entry = self._entries.pop(key, None)
+        if entry is None:
+            raise KeyError(f"no archive registered under key {key!r}")
+        entry.retire()
+        self._purge_cached(entry)
+
+    def close(self) -> None:
+        """Retire every archive; subsequent reads and adds raise.
+
+        Handles close as their last in-flight read finishes — already-started
+        reads complete normally rather than hitting a dead descriptor.
+        """
+        with self._lock:
+            entries, self._entries = list(self._entries.values()), {}
+            self._closed = True
+        for entry in entries:
+            entry.retire()
+            self._purge_cached(entry)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False
+
+    def _purge_cached(self, entry: _Entry) -> None:
+        """Free the retired entry's decoded tiles from the shared cache now.
+
+        Their keys are unreachable once the entry is gone; left in place they
+        would count against the budget until ordinary traffic evicted them.
+        (A tile load still in flight during the purge may re-insert one stale
+        entry; it ages out by LRU like any other unreferenced key.)
+        """
+        token = entry.token
+        self._cache.purge(
+            lambda k: isinstance(k, tuple) and bool(k) and k[0] is token)
+
+    # ------------------------------------------------------------ inspection
+    def keys(self) -> Tuple[str, ...]:
+        with self._lock:
+            return tuple(sorted(self._entries))
+
+    def info(self, key: str) -> IndexType:
+        """The archive's parsed header (codec/shape/dtype/bound + tile index)."""
+        entry = self._entry(key)
+        entry.unpin()  # the index is plain parsed data; no handle use follows
+        return entry.index
+
+    def stats(self) -> dict:
+        """Cache counters plus store-level read/decode totals."""
+        out = self._cache.stats()
+        with self._stats_lock:
+            out["tile_decodes"] = self._tile_decodes
+            out["region_reads"] = self._region_reads
+        with self._lock:
+            out["archives"] = len(self._entries)
+        return out
+
+    @property
+    def cache(self) -> TileCache:
+        return self._cache
+
+    # ----------------------------------------------------------------- reads
+    def read_region(self, key: str, region, *,
+                    out: Optional[np.ndarray] = None) -> np.ndarray:
+        """Decode ``region`` of archive ``key`` — the cached ``read_region``.
+
+        Same semantics (and bit-identical results) as
+        :func:`repro.read_region` on the same archive: ``region`` is a tuple
+        of slices or a ``"10:20,0:64,5:9"`` string, clamped like numpy;
+        ``out`` gathers into a preallocated region-shaped array.  Tiles come
+        from the shared cache when warm; cold tiles are read positionally,
+        CRC-checked and decoded at most once across all concurrent callers.
+        """
+        entry = self._entry(key)
+        try:
+            bounds = self._bounds(entry, region)
+            with self._stats_lock:
+                self._region_reads += 1
+            return self._gather(entry, bounds, out)
+        finally:
+            entry.unpin()
+
+    def read_regions(self, key: str, regions: Sequence) -> List[np.ndarray]:
+        """Decode a batch of regions of one archive with deduped tile fetches.
+
+        Tiles shared by several regions are decoded (or cache-fetched) once
+        and cropped into every requesting region — the per-tile work is
+        O(distinct tiles of the union), not O(sum over regions).  Returns one
+        region-shaped array per input region, in order.
+        """
+        entry = self._entry(key)
+        try:
+            bounds_list = [self._bounds(entry, region) for region in regions]
+            with self._stats_lock:
+                self._region_reads += len(bounds_list)
+            results: List[Optional[np.ndarray]] = [None] * len(bounds_list)
+            # tile id -> region indices that intersect it (insertion-ordered,
+            # so tiles are visited in row-major order: sequential cold I/O).
+            wanted: Dict[int, List[int]] = {}
+            for j, bounds in enumerate(bounds_list):
+                for i in entry.region_tiles(bounds):
+                    wanted.setdefault(i, []).append(j)
+            for i, readers in wanted.items():
+                tile = self._tile(entry, i)
+                for j in readers:
+                    results[j] = self._place(results[j], bounds_list[j],
+                                             entry, i, tile)
+            return [r if r is not None
+                    else np.empty(tuple(b1 - b0 for b0, b1 in bounds),
+                                  dtype=np.dtype(entry.index.dtype))
+                    for r, bounds in zip(results, bounds_list)]
+        finally:
+            entry.unpin()
+
+    # -------------------------------------------------------------- internals
+    def _entry(self, key: str) -> _Entry:
+        """Look up and **pin** an entry; the caller must ``unpin`` when done.
+
+        Pinning happens under the store lock, and ``remove``/``close`` retire
+        entries only after popping them under the same lock — so a returned
+        entry's handle is guaranteed open until the caller unpins.
+        """
+        with self._lock:
+            if self._closed:
+                raise ValueError("store is closed")
+            entry = self._entries.get(key)
+            if entry is None:
+                raise KeyError(f"no archive registered under key {key!r}")
+            entry.pin()
+        return entry
+
+    @staticmethod
+    def _bounds(entry: _Entry, region) -> Tuple[Tuple[int, int], ...]:
+        if isinstance(region, str):
+            region = parse_region(region)
+        return normalize_region(region, entry.index.shape)
+
+    def _tile(self, entry: _Entry, i: int) -> np.ndarray:
+        """The decoded (full, uncropped) tile ``i``, via the shared cache."""
+
+        def load() -> np.ndarray:
+            with self._stats_lock:
+                self._tile_decodes += 1
+            if entry.is_v1:
+                recon = _decompress_parsed(entry.index, **entry.decode_opts)
+                return np.asarray(recon)
+            index = entry.index
+            raw = entry.handle.read_at(index.data_start + index.offsets[i],
+                                       index.lengths[i])
+            raw = index.check_tile(i, raw)
+            return decode_tile(index, i, raw, **entry.decode_opts)
+
+        return self._cache.get_or_load(entry.cache_key(i), load)
+
+    @staticmethod
+    def _place(result: Optional[np.ndarray], bounds, entry: _Entry, i: int,
+               tile: np.ndarray) -> np.ndarray:
+        """Crop ``tile`` to ``bounds`` and write it into ``result`` (grown lazily)."""
+        local, inner = tile_crop(bounds, entry.tile_slices(i))
+        piece = tile[inner]
+        if result is None:
+            region_shape = tuple(b1 - b0 for b0, b1 in bounds)
+            result = np.empty(region_shape, dtype=piece.dtype)
+        elif piece.dtype.itemsize > result.dtype.itemsize:
+            # A later tile could not be restored narrow; widen what is
+            # already written (exact float upcast) and continue.
+            result = result.astype(piece.dtype)
+        result[local] = piece
+        return result
+
+    def _gather(self, entry: _Entry, bounds,
+                out: Optional[np.ndarray]) -> np.ndarray:
+        region_shape = tuple(b1 - b0 for b0, b1 in bounds)
+        if out is not None and tuple(out.shape) != region_shape:
+            raise ValueError(
+                f"out has shape {tuple(out.shape)}, region shape is "
+                f"{region_shape}")
+        result = out
+        for i in entry.region_tiles(bounds):
+            tile = self._tile(entry, i)
+            if out is not None:
+                local, inner = tile_crop(bounds, entry.tile_slices(i))
+                _store_chunk(out, local, tile[inner])
+                continue
+            result = self._place(result, bounds, entry, i, tile)
+        if result is None:
+            # Empty region (nothing decoded): exact shape, header dtype.
+            result = np.empty(region_shape, dtype=np.dtype(entry.index.dtype))
+        return result

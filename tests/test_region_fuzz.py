@@ -1,0 +1,198 @@
+"""Seeded fuzz suite for ``parse_region`` / ``normalize_region``.
+
+Two obligations (ISSUE 5):
+
+* random **valid** specs — as strings and as slice/int tuples — roundtrip
+  against direct numpy slicing: the region the parser describes selects
+  exactly the elements numpy's own basic slicing selects, on every shape;
+* random **malformed** specs (empty axes, strides, garbage tokens,
+  out-of-range axis counts, non-integers) always raise ``ValueError`` —
+  never a crash, never a silent wrong answer.
+
+The draw sequence is deterministic per seed; override with
+``REPRO_PROPERTY_SEED`` (the same knob as the property-roundtrip suite) to
+explore a different corner in CI without touching the code.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+import repro
+from repro import api
+
+SEED = int(os.environ.get("REPRO_PROPERTY_SEED", "20260730"))
+N_VALID = 300
+N_MALFORMED = 300
+
+
+def _random_shape(rng) -> tuple:
+    ndim = int(rng.integers(1, 5))
+    return tuple(int(rng.integers(1, 10)) for _ in range(ndim))
+
+
+def _valid_axis_spec(rng, dim: int):
+    """One axis of a valid region: ``(string form, numpy slice form)``.
+
+    Draws deliberately include bounds beyond ``dim`` (numpy clamps) and
+    reversed ``start >= stop`` pairs (numpy yields an empty axis) — valid
+    inputs whose semantics must match numpy exactly.
+    """
+    kind = rng.choice(["full", "both", "start", "stop", "int"])
+    if kind == "full":
+        return ":", slice(None)
+    if kind == "int":
+        i = int(rng.integers(0, dim + 3))
+        # A bare integer keeps its axis with length 1 (i:i+1 semantics).
+        return str(i), slice(i, i + 1)
+    a = int(rng.integers(0, dim + 4))
+    b = int(rng.integers(0, dim + 4))
+    if kind == "start":
+        return f"{a}:", slice(a, None)
+    if kind == "stop":
+        return f":{b}", slice(None, b)
+    return f"{a}:{b}", slice(a, b)
+
+
+def test_valid_string_specs_roundtrip_against_numpy():
+    rng = np.random.default_rng(SEED)
+    for _ in range(N_VALID):
+        shape = _random_shape(rng)
+        arr = rng.standard_normal(shape)
+        n_axes = int(rng.integers(1, len(shape) + 1))  # trailing axes default
+        parts = [_valid_axis_spec(rng, d) for d in shape[:n_axes]]
+        spec = ",".join(p[0] for p in parts)
+        want = arr[tuple(p[1] for p in parts)]
+
+        region = repro.parse_region(spec)
+        bounds = api.normalize_region(region, shape)
+        got = arr[tuple(slice(b0, b1) for b0, b1 in bounds)]
+        assert got.shape == want.shape, (spec, shape)
+        assert np.array_equal(got, want), (spec, shape)
+
+
+def test_valid_tuple_specs_roundtrip_against_numpy():
+    rng = np.random.default_rng(SEED + 1)
+    for _ in range(N_VALID):
+        shape = _random_shape(rng)
+        arr = rng.standard_normal(shape)
+        region, npy = [], []
+        for d in shape:
+            _, sl = _valid_axis_spec(rng, d)
+            if sl.start is not None and sl.stop == sl.start + 1 \
+                    and rng.integers(0, 2):
+                region.append(sl.start)  # exercise the bare-int promotion
+            else:
+                region.append(sl)
+            npy.append(sl)
+        bounds = api.normalize_region(tuple(region), shape)
+        got = arr[tuple(slice(b0, b1) for b0, b1 in bounds)]
+        want = arr[tuple(npy)]
+        assert np.array_equal(got, want), (region, shape)
+
+
+def test_valid_specs_through_read_region():
+    """A sample of fuzz draws through the real decode path on a grid archive."""
+    rng = np.random.default_rng(SEED + 2)
+    data = rng.standard_normal((24, 24, 24)).cumsum(axis=0)
+    blob = api.compress_chunked(data, codec="szinterp", bound=1e-3,
+                                chunk_shape=(8, 8, 8))
+    full = repro.decompress(blob)
+    for _ in range(25):
+        parts = [_valid_axis_spec(rng, 24) for _ in range(3)]
+        spec = ",".join(p[0] for p in parts)
+        got = repro.read_region(blob, spec)
+        assert np.array_equal(got, full[tuple(p[1] for p in parts)]), spec
+
+
+# ---------------------------------------------------------------------------
+# Malformed inputs: always ValueError, never a crash
+# ---------------------------------------------------------------------------
+
+_GARBAGE_TOKENS = ["x", "1x", "x1", "1.5", "0x10", "1e3", "--", "🙂", " - ",
+                   "None", "nan", "inf", "(1)", "[2]", "1 2", "'3'"]
+
+
+def _malformed_string_spec(rng) -> str:
+    """Draw from templates that are malformed by construction."""
+    kind = rng.choice(["stride", "negative", "garbage", "empty_axis",
+                       "too_many_colons", "float", "bare_empty"])
+    if kind == "stride":
+        step = int(rng.choice([-3, -1, 0, 2, 5]))
+        return f"{rng.integers(0, 9)}:{rng.integers(0, 9)}:{step}"
+    if kind == "negative":
+        lo = -int(rng.integers(1, 9))
+        if rng.integers(0, 2):
+            return f"{lo}:{rng.integers(0, 9)}"
+        return str(lo)
+    if kind == "garbage":
+        token = str(rng.choice(_GARBAGE_TOKENS))
+        side = rng.choice(["lone", "start", "stop"])
+        if side == "lone":
+            return token
+        if side == "start":
+            return f"{token}:{rng.integers(0, 9)}"
+        return f"{rng.integers(0, 9)}:{token}"
+    if kind == "empty_axis":
+        return f"{rng.integers(0, 9)}:{rng.integers(0, 9)},,:"
+    if kind == "too_many_colons":
+        return ":".join(str(int(rng.integers(0, 9)))
+                        for _ in range(int(rng.integers(4, 7))))
+    if kind == "float":
+        return f"{rng.uniform(0, 9):.2f}:{rng.integers(0, 9)}"
+    return ""  # bare_empty: "" has one empty axis field
+
+
+def test_malformed_string_specs_always_valueerror():
+    rng = np.random.default_rng(SEED + 3)
+    shape = (8, 8, 8)
+    for _ in range(N_MALFORMED):
+        spec = _malformed_string_spec(rng)
+        with pytest.raises(ValueError):
+            bounds = api.normalize_region(repro.parse_region(spec), shape)
+            raise AssertionError(  # pragma: no cover - reached only on a bug
+                f"malformed spec {spec!r} was accepted as {bounds}")
+
+
+def test_malformed_tuple_regions_always_valueerror():
+    rng = np.random.default_rng(SEED + 4)
+    shape = (6, 7, 8)
+    bad_entries = [
+        slice(0, 4, 2), slice(None, None, 0), slice(None, None, -1),
+        slice(-2, 4), slice(1, -1), -3, slice(0.5, 3), slice(0, 2.5),
+        slice("a", 3), 1.5, "3", None, (1, 2), [0, 2],
+        slice(0, np.float64(2.5)),
+    ]
+    for _ in range(N_MALFORMED):
+        region = [slice(0, int(rng.integers(1, 6))) for _ in shape]
+        n_bad = int(rng.integers(1, 3))
+        for _ in range(n_bad):
+            axis = int(rng.integers(0, len(shape)))
+            region[axis] = bad_entries[int(rng.integers(0, len(bad_entries)))]
+        with pytest.raises(ValueError):
+            api.normalize_region(tuple(region), shape)
+
+
+def test_structural_errors():
+    with pytest.raises(ValueError, match="axes"):
+        api.normalize_region((slice(0, 1),) * 4, (4, 4))  # too many axes
+    with pytest.raises(ValueError):
+        repro.parse_region("")
+    with pytest.raises(ValueError):
+        repro.parse_region(",")
+    with pytest.raises(ValueError):
+        repro.parse_region("1:2,")
+    # Ints promote, numpy integer scalars too; numpy floats never.
+    assert api.normalize_region((np.int64(2),), (5,)) == ((2, 3),)
+    with pytest.raises(ValueError):
+        api.normalize_region((np.float32(2.0),), (5,))
+
+
+def test_fuzz_seed_is_reproducible():
+    """Two runs at one seed draw identical sequences (CI can bisect a seed)."""
+    a = [_malformed_string_spec(np.random.default_rng(99)) for _ in range(10)]
+    b = [_malformed_string_spec(np.random.default_rng(99)) for _ in range(10)]
+    assert a == b
