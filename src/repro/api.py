@@ -30,9 +30,11 @@ from __future__ import annotations
 import os
 from operator import index as _as_index
 from pathlib import Path
-from typing import Iterator, List, Optional, Sequence, Tuple, Union
+from typing import (Any, Iterable, Iterator, List, Optional, Sequence, Tuple,
+                    Union)
 
 import numpy as np
+from numpy.typing import ArrayLike, DTypeLike
 
 from repro.bounds import MODE_PTW_REL, MODE_REL, Abs, ErrorBound, as_bound
 from repro.compressors.base import CompressorResult
@@ -66,6 +68,13 @@ _MASK_BACKEND = "zlib"
 #: float64 per chunk, large enough to amortize per-chunk headers and process
 #: dispatch, small enough that a handful of in-flight chunks fits in RAM.
 DEFAULT_CHUNK_ELEMS = 4 * 1024 * 1024
+
+#: Aliases shared by the public signatures below.
+CodecArg = Union[str, Any]  # registry name/alias, or a live compressor
+BoundArg = Union[float, int, ErrorBound]
+SourceArg = Union[bytes, bytearray, memoryview, str, os.PathLike]
+RegionArg = Union[str, Sequence]  # "10:20,0:64" or a tuple of slices/ints
+ModelArg = Union[str, os.PathLike, None]  # .npz model path
 
 
 # ---------------------------------------------------------------------------
@@ -187,7 +196,9 @@ def _resolve_codec(codec, codec_options: Optional[dict]):
     return name_for_compressor(codec), codec
 
 
-def compress(data, codec="sz21", bound=1e-3, *, codec_options: Optional[dict] = None,
+def compress(data: ArrayLike, codec: CodecArg = "sz21",
+             bound: BoundArg = 1e-3, *,
+             codec_options: Optional[dict] = None,
              embed_model: bool = True) -> bytes:
     """Compress ``data`` into a self-describing archive.
 
@@ -409,14 +420,16 @@ def _normalize_chunk_shape(chunk_shape, shape: Tuple[int, ...]) -> Tuple[int, ..
     return tuple(out)
 
 
-def compress_chunked(source, codec="sz21", bound=1e-3, *,
+def compress_chunked(source: Union[ArrayLike, str, os.PathLike,
+                                   Iterable[np.ndarray]],
+                     codec: CodecArg = "sz21", bound: BoundArg = 1e-3, *,
                      chunk_size: int = DEFAULT_CHUNK_ELEMS,
                      chunk_shape: Optional[Sequence[int]] = None,
                      workers: Optional[int] = None,
                      codec_options: Optional[dict] = None,
                      embed_model: bool = True,
                      data_range: Optional[Tuple[float, float]] = None,
-                     dtype=None) -> bytes:
+                     dtype: Optional[DTypeLike] = None) -> bytes:
     """Compress a large field chunk by chunk into a multi-chunk archive.
 
     ``source`` may be an in-memory array, a memory-mapped array (e.g.
@@ -590,7 +603,8 @@ def _store_chunk(out: np.ndarray, where, chunk: np.ndarray) -> None:
     out[where] = chunk
 
 
-def iter_decompressed_chunks(blob: bytes, *, model=None, autoencoder=None,
+def iter_decompressed_chunks(blob: bytes, *, model: ModelArg = None,
+                             autoencoder: Any = None,
                              codec_options: Optional[dict] = None,
                              workers: Optional[int] = None
                              ) -> Iterator[Tuple[slice, np.ndarray]]:
@@ -735,7 +749,7 @@ class _FileReader:
         return False
 
 
-def open_reader(source):
+def open_reader(source: SourceArg):
     """Open a random-access reader over archive bytes or an archive path.
 
     The returned object exposes ``size`` / ``read_at(offset, length)`` /
@@ -792,7 +806,8 @@ def _check_tile_shape(index, i: int, tile: np.ndarray) -> np.ndarray:
     return tile
 
 
-def decode_tile(index, i: int, raw: bytes, *, model=None, autoencoder=None,
+def decode_tile(index: Union[ChunkedIndex, GridIndex], i: int, raw: bytes, *,
+                model: ModelArg = None, autoencoder: Any = None,
                 codec_options: Optional[dict] = None) -> np.ndarray:
     """Decode one CRC-checked tile blob and validate its shape against ``index``.
 
@@ -921,7 +936,8 @@ def parse_region(spec: str) -> Tuple[slice, ...]:
     return tuple(out)
 
 
-def iter_region_tiles(source, region, *, model=None, autoencoder=None,
+def iter_region_tiles(source: SourceArg, region: RegionArg, *,
+                      model: ModelArg = None, autoencoder: Any = None,
                       codec_options: Optional[dict] = None,
                       workers: Optional[int] = None
                       ) -> Iterator[Tuple[Tuple[slice, ...], np.ndarray]]:
@@ -983,7 +999,8 @@ def _iter_tiles_for_region(reader, index, bounds, *, model=None,
         yield local, tile[inner]
 
 
-def read_region(source, region, *, model=None, autoencoder=None,
+def read_region(source: SourceArg, region: RegionArg, *,
+                model: ModelArg = None, autoencoder: Any = None,
                 codec_options: Optional[dict] = None,
                 workers: Optional[int] = None,
                 out: Optional[np.ndarray] = None) -> np.ndarray:
@@ -1052,7 +1069,7 @@ def _decompress_grid(blob: bytes, *, model=None, autoencoder=None,
                        codec_options=codec_options, workers=workers, out=out)
 
 
-def read_header(source) -> Union[Archive, ChunkedIndex, GridIndex]:
+def read_header(source: SourceArg) -> Union[Archive, ChunkedIndex, GridIndex]:
     """Parse an archive's framed header without decompressing the payload.
 
     ``source`` is archive bytes or a path to an archive file.  Single-shot
@@ -1068,7 +1085,7 @@ def read_header(source) -> Union[Archive, ChunkedIndex, GridIndex]:
         return load_index(reader)
 
 
-def decompress(blob: bytes, *, model=None, autoencoder=None,
+def decompress(blob: bytes, *, model: ModelArg = None, autoencoder: Any = None,
                codec_options: Optional[dict] = None, workers: Optional[int] = None,
                out: Optional[np.ndarray] = None) -> np.ndarray:
     """Reconstruct the array from an archive produced by :func:`compress`
@@ -1161,7 +1178,9 @@ def _decompress_parsed(archive: Archive, *, model=None, autoencoder=None,
     return recon
 
 
-def roundtrip(data, codec="sz21", bound=1e-3, *, codec_options: Optional[dict] = None,
+def roundtrip(data: ArrayLike, codec: CodecArg = "sz21",
+              bound: BoundArg = 1e-3, *,
+              codec_options: Optional[dict] = None,
               embed_model: bool = True) -> CompressorResult:
     """Compress + decompress through the archive layer and collect metrics."""
     data = np.asarray(data)

@@ -219,6 +219,16 @@ def build_parser() -> argparse.ArgumentParser:
     srv.add_argument("--verbose", action="store_true",
                      help="log one line per request to stderr")
 
+    # ------------------------------------------------------------------- lint
+    lint = sub.add_parser("lint",
+                          help="run the project's static-analysis rules "
+                               "(RPR001..RPR007) over source paths")
+    lint.add_argument("paths", nargs="*", metavar="PATH",
+                      help="files or directories to lint (default: the "
+                           "installed repro package)")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="print the rule catalogue and exit")
+
     # ------------------------------------------------------------------- info
     info = sub.add_parser("info",
                           help="inspect an archive (codec, dims, bound, chunk grid), "
@@ -446,6 +456,16 @@ def _info_archive(path: str) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    # Lazy: the lint engine is pure stdlib but only dev workflows need it.
+    from repro.lint import main as lint_main
+
+    argv = list(args.paths)
+    if args.list_rules:
+        argv.append("--list-rules")
+    return lint_main(argv)
+
+
 def _cmd_info(args: argparse.Namespace) -> int:
     if len(args.files) == 1:
         return _info_archive(args.files[0])
@@ -474,7 +494,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {"list": _cmd_list, "train": _cmd_train, "compress": _cmd_compress,
                 "decompress": _cmd_decompress, "extract": _cmd_extract,
-                "serve": _cmd_serve, "info": _cmd_info}
+                "serve": _cmd_serve, "info": _cmd_info, "lint": _cmd_lint}
     return handlers[args.command](args)
 
 

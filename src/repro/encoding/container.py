@@ -104,16 +104,32 @@ class ByteContainer:
         if data[:4] != _MAGIC:
             raise ValueError("not a repro byte container (bad magic)")
         pos = 4
-        (n,) = _LEN.unpack_from(data, pos)
-        pos += _LEN.size
+        total = len(data)
+
+        def take_uint(fmt: struct.Struct, what: str) -> int:
+            nonlocal pos
+            if pos + fmt.size > total:
+                raise ValueError(f"corrupt byte container: truncated {what}")
+            (value,) = fmt.unpack_from(data, pos)
+            pos += fmt.size
+            return value
+
+        n = take_uint(_LEN, "section count")
         container = cls()
         for _ in range(n):
-            (klen,) = _LEN.unpack_from(data, pos)
-            pos += _LEN.size
-            key = data[pos : pos + klen].decode()
+            klen = take_uint(_LEN, "section name length")
+            if klen == 0 or pos + klen > total:
+                raise ValueError("corrupt byte container: bad section name")
+            try:
+                key = data[pos : pos + klen].decode()
+            except UnicodeDecodeError:
+                raise ValueError(
+                    "corrupt byte container: section name is not UTF-8") from None
             pos += klen
-            (vlen,) = _QLEN.unpack_from(data, pos)
-            pos += _QLEN.size
+            vlen = take_uint(_QLEN, f"length of section {key!r}")
+            if pos + vlen > total:
+                raise ValueError(
+                    f"corrupt byte container: truncated section {key!r}")
             container[key] = data[pos : pos + vlen]
             pos += vlen
         return container

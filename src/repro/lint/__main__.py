@@ -1,0 +1,8 @@
+"""``python -m repro.lint [paths]`` — run the project lint rules."""
+
+import sys
+
+from repro.lint import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,99 @@
+"""Shared infrastructure for the project lint rules.
+
+Each rule module exposes ``check(ctx) -> list[Diagnostic]`` (per-file rules,
+fed a parsed :class:`FileContext`) or ``check(package_dir) -> list[Diagnostic]``
+(project rules, fed the root of the ``repro`` package so they can reason about
+the whole import graph / public surface).  The runner wires them together.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+__all__ = ["Diagnostic", "FileContext", "exc_names", "parse_file"]
+
+
+@dataclass(frozen=True, order=True)
+class Diagnostic:
+    """One finding: ``path:line:col: CODE message``."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+
+def _comment_map(source: str) -> Dict[int, str]:
+    """line number -> comment text (``ast`` drops comments; ``tokenize`` keeps them)."""
+    comments: Dict[int, str] = {}
+    try:
+        for tok in tokenize.generate_tokens(io.StringIO(source).readline):
+            if tok.type == tokenize.COMMENT:
+                comments[tok.start[0]] = tok.string
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        pass  # the parser already reported the real problem
+    return comments
+
+
+class FileContext:
+    """One parsed file plus the comment map the AST rules need."""
+
+    def __init__(self, path: str, source: str, tree: ast.Module):
+        self.path = path
+        self.posix = Path(path).as_posix()
+        self.source = source
+        self.tree = tree
+        self.comments = _comment_map(source)
+
+    def diag(self, node: Union[ast.AST, int], code: str, message: str) -> Diagnostic:
+        if isinstance(node, int):
+            line, col = node, 0
+        else:
+            line = getattr(node, "lineno", 1)
+            col = getattr(node, "col_offset", 0)
+        return Diagnostic(self.path, line, col, code, message)
+
+    def comment_between(self, lo: int, hi: int, pattern: "re.Pattern") -> Optional[str]:
+        """First ``pattern`` capture among the comments on lines lo..hi."""
+        for line in range(lo, hi + 1):
+            match = pattern.search(self.comments.get(line, ""))
+            if match:
+                return match.group(1)
+        return None
+
+
+def parse_file(path: Path) -> Tuple[Optional[FileContext], List[Diagnostic]]:
+    source = path.read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        return None, [Diagnostic(str(path), exc.lineno or 1, 0, "RPR000",
+                                 f"syntax error: {exc.msg}")]
+    return FileContext(str(path), source, tree), []
+
+
+def exc_names(node: Optional[ast.AST]) -> List[str]:
+    """Dotted names of the exceptions an ``except`` clause catches."""
+    if node is None:
+        return []
+    if isinstance(node, ast.Tuple):
+        out: List[str] = []
+        for elt in node.elts:
+            out.extend(exc_names(elt))
+        return out
+    if isinstance(node, ast.Name):
+        return [node.id]
+    if isinstance(node, ast.Attribute):
+        inner = exc_names(node.value)
+        return [f"{inner[0]}.{node.attr}"] if inner else [node.attr]
+    return []

@@ -1,0 +1,84 @@
+"""RPR002 — corrupt-input convention in parsing modules.
+
+Archive/stream parsers report malformed input as ``ValueError("corrupt ...")``
+(the contract :mod:`repro.api` documents and the fuzz suites rely on).  In
+the parsing modules, an ``except`` clause inside a ``parse_*`` / ``from_*`` /
+``read_*`` / ``load_*`` function that catches a decode-level stdlib exception
+(``struct.error``, ``KeyError``, ``zlib.error``, ...) must therefore re-raise
+a ``ValueError`` whose message contains ``"corrupt"`` — anything else lets a
+raw stdlib traceback escape to callers feeding untrusted bytes.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import List
+
+from repro.lint.core import Diagnostic, FileContext, exc_names
+
+CODE = "RPR002"
+
+#: Modules whose job is decoding untrusted bytes.
+PARSING_MODULE_SUFFIXES = (
+    "repro/encoding/container.py",
+    "repro/encoding/huffman.py",
+    "repro/encoding/entropy.py",
+    "repro/encoding/bitstream.py",
+    "repro/api.py",
+)
+
+#: Function-name shapes that take raw input bytes apart.
+PARSER_NAME_RE = re.compile(r"^_*(parse|from|read|load)_")
+
+#: Exceptions that mean "the bytes were malformed" when raised mid-decode.
+#: ``ValueError``/``TypeError`` are deliberately absent: handlers catching
+#: those are usually translating an *already*-classified error.
+DECODE_EXCEPTIONS = frozenset({
+    "struct.error", "zlib.error", "lzma.LZMAError", "json.JSONDecodeError",
+    "KeyError", "IndexError", "UnicodeDecodeError", "EOFError",
+    "OverflowError", "Exception", "BaseException",
+})
+
+_FuncDef = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+def _message_text(node: ast.expr) -> str:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    if isinstance(node, ast.JoinedStr):
+        return "".join(part.value for part in node.values
+                       if isinstance(part, ast.Constant)
+                       and isinstance(part.value, str))
+    return ""
+
+
+def _reraises_corrupt(handler: ast.ExceptHandler) -> bool:
+    for node in ast.walk(handler):
+        if not (isinstance(node, ast.Raise) and isinstance(node.exc, ast.Call)):
+            continue
+        func = node.exc.func
+        if isinstance(func, ast.Name) and func.id == "ValueError":
+            if any("corrupt" in _message_text(arg) for arg in node.exc.args):
+                return True
+    return False
+
+
+def check(ctx: FileContext) -> List[Diagnostic]:
+    if not ctx.posix.endswith(PARSING_MODULE_SUFFIXES):
+        return []
+    diags: List[Diagnostic] = []
+    for func in ast.walk(ctx.tree):
+        if not (isinstance(func, _FuncDef) and PARSER_NAME_RE.match(func.name)):
+            continue
+        for node in ast.walk(func):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            caught = sorted(set(exc_names(node.type)) & DECODE_EXCEPTIONS)
+            if not caught or _reraises_corrupt(node):
+                continue
+            diags.append(ctx.diag(node, CODE,
+                                  f"except clause in parser {func.name}() "
+                                  f"catches {', '.join(caught)} but does not "
+                                  f"re-raise ValueError('corrupt ...')"))
+    return diags

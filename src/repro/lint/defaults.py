@@ -1,0 +1,47 @@
+"""RPR004 — no mutable default arguments.
+
+A ``def f(x=[])`` default is evaluated once and shared by every call; in a
+library serving concurrent requests that is a data race and a correctness
+bug in one.  Flags literal/comprehension defaults and calls to the mutable
+builtin constructors.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from repro.lint.core import Diagnostic, FileContext
+
+CODE = "RPR004"
+
+_MUTABLE_LITERALS = (ast.List, ast.Dict, ast.Set,
+                     ast.ListComp, ast.DictComp, ast.SetComp)
+_MUTABLE_CALLS = {"list", "dict", "set", "bytearray",
+                  "defaultdict", "OrderedDict", "Counter", "deque"}
+
+
+def _is_mutable(node: ast.expr) -> bool:
+    if isinstance(node, _MUTABLE_LITERALS):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in _MUTABLE_CALLS
+    return False
+
+
+def check(ctx: FileContext) -> List[Diagnostic]:
+    diags: List[Diagnostic] = []
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.Lambda)):
+            continue
+        defaults = list(node.args.defaults) + [d for d in node.args.kw_defaults
+                                               if d is not None]
+        name = getattr(node, "name", "<lambda>")
+        for default in defaults:
+            if _is_mutable(default):
+                diags.append(ctx.diag(default, CODE,
+                                      f"mutable default argument in {name}(); "
+                                      f"default to None and create the "
+                                      f"object inside the function"))
+    return diags

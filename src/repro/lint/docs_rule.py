@@ -1,0 +1,73 @@
+"""RPR007 — every public name in ``repro.__all__`` is documented.
+
+``docs/api.md`` is the public API reference; a name exported from
+``repro.__all__`` that never appears there is an undocumented public
+surface.  Dunders (``__version__``) are exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+from typing import List, Optional
+
+from repro.lint.core import Diagnostic
+
+CODE = "RPR007"
+
+
+def _find_docs(package_dir: Path) -> Optional[Path]:
+    base = package_dir
+    for _ in range(4):  # src/repro -> src -> repo root -> one above
+        base = base.parent
+        candidate = base / "docs" / "api.md"
+        if candidate.is_file():
+            return candidate
+    return None
+
+
+def _all_assignment(tree: ast.Module) -> Optional[ast.expr]:
+    for stmt in tree.body:
+        if isinstance(stmt, ast.Assign):
+            targets = stmt.targets
+        elif isinstance(stmt, ast.AnnAssign):
+            targets = [stmt.target]
+        else:
+            continue
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id == "__all__":
+                return stmt.value
+    return None
+
+
+def check(package_dir: Path) -> List[Diagnostic]:
+    init = package_dir / "__init__.py"
+    try:
+        tree = ast.parse(init.read_text(encoding="utf-8"))
+    except (OSError, SyntaxError):
+        return []  # reported elsewhere
+    value = _all_assignment(tree)
+    if value is None or not isinstance(value, (ast.List, ast.Tuple)):
+        return []
+    docs = _find_docs(package_dir)
+    if docs is None:
+        return [Diagnostic(str(init), value.lineno, 0, CODE,
+                           "docs/api.md not found near the package; the "
+                           "public API reference is missing")]
+    text = docs.read_text(encoding="utf-8")
+    diags: List[Diagnostic] = []
+    for element in value.elts:
+        if not (isinstance(element, ast.Constant)
+                and isinstance(element.value, str)):
+            continue
+        name = element.value
+        if name.startswith("__"):
+            continue
+        if not re.search(rf"\b{re.escape(name)}\b", text):
+            diags.append(Diagnostic(str(init), element.lineno, 0, CODE,
+                                    f"public name {name!r} from "
+                                    f"{package_dir.name}.__all__ does not "
+                                    f"appear in {docs.name}; document it in "
+                                    f"the API reference"))
+    return diags

@@ -1,0 +1,41 @@
+"""RPR003 — no bare ``except:`` and no silent ``except Exception: pass``."""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from repro.lint.core import Diagnostic, FileContext, exc_names
+
+CODE = "RPR003"
+
+_BROAD = {"Exception", "BaseException"}
+
+
+def _is_silent(body: List[ast.stmt]) -> bool:
+    for stmt in body:
+        if isinstance(stmt, ast.Pass):
+            continue
+        if (isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant)
+                and stmt.value.value in (Ellipsis,)):
+            continue
+        return False
+    return True
+
+
+def check(ctx: FileContext) -> List[Diagnostic]:
+    diags: List[Diagnostic] = []
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.ExceptHandler):
+            continue
+        if node.type is None:
+            diags.append(ctx.diag(node, CODE,
+                                  "bare `except:` swallows everything, "
+                                  "including KeyboardInterrupt/SystemExit; "
+                                  "catch a specific exception"))
+        elif set(exc_names(node.type)) & _BROAD and _is_silent(node.body):
+            diags.append(ctx.diag(node, CODE,
+                                  "`except Exception: pass` silently discards "
+                                  "the error; handle it, log it, or narrow "
+                                  "the exception type"))
+    return diags

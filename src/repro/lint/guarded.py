@@ -1,0 +1,195 @@
+"""RPR001 — guarded-by lock discipline.
+
+A ``# guarded by: self._lock`` comment on an attribute assignment in
+``__init__`` (or ``# guarded by: _LOCK`` on a module-level assignment)
+declares that every read/write of that attribute outside ``__init__`` must
+happen lexically inside ``with self._lock:`` (resp. ``with _LOCK:``) or in a
+function whose docstring declares ``Must hold ``self._lock``.``.
+
+The check is lexical, not a full escape analysis: a nested function body
+starts with an empty held-set (it runs later, possibly on another thread)
+and re-earns locks through its own ``with`` blocks or docstring declaration.
+Module top-level code and class bodies are exempt — they run during import,
+before any concurrent access exists.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, List, Set, Tuple, Union
+
+from repro.lint.core import Diagnostic, FileContext
+
+CODE = "RPR001"
+
+GUARD_RE = re.compile(r"#\s*guarded\s+by:\s*([A-Za-z_][A-Za-z0-9_.]*)")
+
+_FuncDef = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+def _targets(stmt: ast.stmt) -> List[ast.expr]:
+    if isinstance(stmt, ast.Assign):
+        return list(stmt.targets)
+    if isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+        return [stmt.target]
+    return []
+
+
+def _guard_lock(ctx: FileContext, stmt: ast.stmt) -> str:
+    lock = ctx.comment_between(stmt.lineno, stmt.end_lineno or stmt.lineno,
+                               GUARD_RE)
+    return lock or ""
+
+
+def collect_guards(ctx: FileContext) -> Tuple[
+        Dict[str, str], Dict[str, Dict[str, str]], List[Diagnostic]]:
+    """(module guards, per-class attribute guards, malformed-annotation diags).
+
+    Module guards map a global name to the bare lock name; class guards map
+    ``class name -> {attribute -> lock attribute}`` (both sides are the part
+    after ``self.``).
+    """
+    diags: List[Diagnostic] = []
+    module_guards: Dict[str, str] = {}
+    for stmt in ctx.tree.body:
+        if not isinstance(stmt, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            continue
+        lock = _guard_lock(ctx, stmt)
+        if not lock:
+            continue
+        if "." in lock:
+            diags.append(ctx.diag(stmt, CODE,
+                                  f"guarded-by annotation on a module global "
+                                  f"must name a bare module lock, got {lock!r}"))
+            continue
+        for target in _targets(stmt):
+            if isinstance(target, ast.Name):
+                module_guards[target.id] = lock
+
+    class_guards: Dict[str, Dict[str, str]] = {}
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        init = next((s for s in node.body
+                     if isinstance(s, _FuncDef) and s.name == "__init__"), None)
+        if init is None:
+            continue
+        guards: Dict[str, str] = {}
+        for stmt in ast.walk(init):
+            if not isinstance(stmt, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                continue
+            lock = _guard_lock(ctx, stmt)
+            if not lock:
+                continue
+            if not lock.startswith("self.") or lock.count(".") != 1:
+                diags.append(ctx.diag(stmt, CODE,
+                                      f"guarded-by annotation on an instance "
+                                      f"attribute must name self.<lock>, got "
+                                      f"{lock!r}"))
+                continue
+            lock_attr = lock.split(".", 1)[1]
+            for target in _targets(stmt):
+                if (isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"):
+                    guards[target.attr] = lock_attr
+        if guards:
+            class_guards[node.name] = guards
+    return module_guards, class_guards, diags
+
+
+def _with_locks(node: Union[ast.With, ast.AsyncWith]) -> Tuple[Set[str], Set[str]]:
+    attrs: Set[str] = set()
+    names: Set[str] = set()
+    for item in node.items:
+        expr = item.context_expr
+        if (isinstance(expr, ast.Attribute)
+                and isinstance(expr.value, ast.Name) and expr.value.id == "self"):
+            attrs.add(expr.attr)
+        elif isinstance(expr, ast.Name):
+            names.add(expr.id)
+    return attrs, names
+
+
+def _docstring_locks(node, attr_guards: Dict[str, str],
+                     name_guards: Dict[str, str]) -> Tuple[Set[str], Set[str]]:
+    doc = ast.get_docstring(node) or ""
+    held_attrs = {lock for lock in set(attr_guards.values())
+                  if f"Must hold ``self.{lock}``" in doc}
+    held_names = {lock for lock in set(name_guards.values())
+                  if f"Must hold ``{lock}``" in doc}
+    return held_attrs, held_names
+
+
+def _scan(ctx: FileContext, node: ast.AST,
+          attr_guards: Dict[str, str], name_guards: Dict[str, str],
+          held_attrs: Set[str], held_names: Set[str],
+          diags: List[Diagnostic]) -> None:
+    if isinstance(node, ast.ClassDef):
+        return  # classes are checked separately, with their own guard sets
+    if isinstance(node, _FuncDef):
+        for extra in (node.decorator_list + node.args.defaults
+                      + [d for d in node.args.kw_defaults if d is not None]):
+            _scan(ctx, extra, attr_guards, name_guards,
+                  held_attrs, held_names, diags)
+        inner_attrs, inner_names = _docstring_locks(node, attr_guards, name_guards)
+        for stmt in node.body:
+            _scan(ctx, stmt, attr_guards, name_guards,
+                  inner_attrs, inner_names, diags)
+        return
+    if isinstance(node, ast.Lambda):
+        _scan(ctx, node.body, attr_guards, name_guards, set(), set(), diags)
+        return
+    if isinstance(node, (ast.With, ast.AsyncWith)):
+        taken_attrs, taken_names = _with_locks(node)
+        for item in node.items:
+            _scan(ctx, item.context_expr, attr_guards, name_guards,
+                  held_attrs, held_names, diags)
+        for stmt in node.body:
+            _scan(ctx, stmt, attr_guards, name_guards,
+                  held_attrs | taken_attrs, held_names | taken_names, diags)
+        return
+    if (isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name) and node.value.id == "self"):
+        lock = attr_guards.get(node.attr)
+        if lock and lock not in held_attrs:
+            diags.append(ctx.diag(node, CODE,
+                                  f"access to self.{node.attr} (guarded by "
+                                  f"self.{lock}) outside `with self.{lock}:` "
+                                  f"and without a `Must hold ``self.{lock}```"
+                                  f" docstring"))
+        return
+    if isinstance(node, ast.Name):
+        lock = name_guards.get(node.id)
+        if lock and lock not in held_names:
+            diags.append(ctx.diag(node, CODE,
+                                  f"access to {node.id} (guarded by {lock}) "
+                                  f"outside `with {lock}:` and without a "
+                                  f"`Must hold ``{lock}``` docstring"))
+        return
+    for child in ast.iter_child_nodes(node):
+        _scan(ctx, child, attr_guards, name_guards,
+              held_attrs, held_names, diags)
+
+
+def check(ctx: FileContext) -> List[Diagnostic]:
+    name_guards, class_guards, diags = collect_guards(ctx)
+
+    # Module-level functions see module guards only (self has no meaning).
+    if name_guards:
+        for stmt in ctx.tree.body:
+            if isinstance(stmt, _FuncDef):
+                _scan(ctx, stmt, {}, name_guards, set(), set(), diags)
+
+    # Methods see their class's attribute guards plus the module guards.
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        attr_guards = class_guards.get(node.name, {})
+        if not attr_guards and not name_guards:
+            continue
+        for stmt in node.body:
+            if isinstance(stmt, _FuncDef) and stmt.name != "__init__":
+                _scan(ctx, stmt, attr_guards, name_guards, set(), set(), diags)
+    return diags

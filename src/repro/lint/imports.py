@@ -1,0 +1,148 @@
+"""RPR006 — import hygiene on the ``import repro`` path.
+
+``import repro`` is executed by every library user, every CLI run and every
+test worker; the serving shell (``http.server``/``socketserver``) must stay
+off that path (the store package loads it lazily, via a module
+``__getattr__``).  This rule builds the *static* top-level import graph of
+the package, computes which modules are reachable from the package root, and
+flags any reachable module that imports a banned module at top level —
+catching the regression at lint time instead of as an import-cost surprise.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Dict, List, Set, Tuple
+
+from repro.lint.core import Diagnostic
+
+CODE = "RPR006"
+
+#: Modules that must only ever be imported lazily (inside a function).
+BANNED_TOP_LEVEL = frozenset({"http.server", "socketserver"})
+
+
+def _module_map(package_dir: Path) -> Dict[str, Path]:
+    pkg = package_dir.name
+    modules: Dict[str, Path] = {}
+    for path in sorted(package_dir.rglob("*.py")):
+        if "__pycache__" in path.parts:
+            continue
+        parts = (pkg,) + path.relative_to(package_dir).with_suffix("").parts
+        if parts[-1] == "__init__":
+            parts = parts[:-1]
+        modules[".".join(parts)] = path
+    return modules
+
+
+def _is_type_checking(test: ast.expr) -> bool:
+    if isinstance(test, ast.Name):
+        return test.id == "TYPE_CHECKING"
+    if isinstance(test, ast.Attribute):
+        return test.attr == "TYPE_CHECKING"
+    return False
+
+
+def _top_level_statements(body: List[ast.stmt]):
+    """Statements executed at import time (recursing through if/try/with/class,
+    skipping function bodies and ``if TYPE_CHECKING:`` blocks)."""
+    for stmt in body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        yield stmt
+        if isinstance(stmt, ast.If):
+            if not _is_type_checking(stmt.test):
+                yield from _top_level_statements(stmt.body)
+            yield from _top_level_statements(stmt.orelse)
+        elif isinstance(stmt, ast.Try):
+            yield from _top_level_statements(stmt.body)
+            for handler in stmt.handlers:
+                yield from _top_level_statements(handler.body)
+            yield from _top_level_statements(stmt.orelse)
+            yield from _top_level_statements(stmt.finalbody)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            yield from _top_level_statements(stmt.body)
+        elif isinstance(stmt, ast.ClassDef):
+            yield from _top_level_statements(stmt.body)
+
+
+def _resolve_relative(current: str, is_package: bool, level: int,
+                      module: str) -> str:
+    anchor = current.split(".")
+    if not is_package:
+        anchor = anchor[:-1]
+    if level > 1:
+        anchor = anchor[:len(anchor) - (level - 1)]
+    return ".".join(anchor + (module.split(".") if module else []))
+
+
+def _scan_module(tree: ast.Module, current: str, is_package: bool,
+                 known: Dict[str, Path]) -> Tuple[Set[str], List[Tuple[int, str]]]:
+    """(intra-package deps, [(line, banned module)]) of one module's top level."""
+    deps: Set[str] = set()
+    banned: List[Tuple[int, str]] = []
+
+    def note(name: str, line: int) -> None:
+        if name in BANNED_TOP_LEVEL:
+            banned.append((line, name))
+        parts = name.split(".")
+        for k in range(1, len(parts) + 1):
+            prefix = ".".join(parts[:k])
+            if prefix in known:
+                deps.add(prefix)
+
+    for stmt in _top_level_statements(tree.body):
+        if isinstance(stmt, ast.Import):
+            for alias in stmt.names:
+                note(alias.name, stmt.lineno)
+        elif isinstance(stmt, ast.ImportFrom):
+            base = (_resolve_relative(current, is_package, stmt.level,
+                                      stmt.module or "")
+                    if stmt.level else (stmt.module or ""))
+            note(base, stmt.lineno)
+            for alias in stmt.names:
+                if alias.name != "*":
+                    note(f"{base}.{alias.name}", stmt.lineno)
+    return deps, banned
+
+
+def check(package_dir: Path) -> List[Diagnostic]:
+    modules = _module_map(package_dir)
+    pkg = package_dir.name
+    deps: Dict[str, Set[str]] = {}
+    banned: Dict[str, List[Tuple[int, str]]] = {}
+    for name, path in modules.items():
+        try:
+            tree = ast.parse(path.read_text(encoding="utf-8"))
+        except SyntaxError:
+            continue  # RPR000 already reported by the per-file pass
+        is_package = path.name == "__init__.py"
+        deps[name], bad = _scan_module(tree, name, is_package, modules)
+        if bad:
+            banned[name] = bad
+        # Importing a submodule imports its ancestor packages too.
+        parts = name.split(".")
+        for k in range(1, len(parts)):
+            ancestor = ".".join(parts[:k])
+            if ancestor in modules:
+                deps[name].add(ancestor)
+
+    reachable: Set[str] = set()
+    frontier = [pkg]
+    while frontier:
+        module = frontier.pop()
+        if module in reachable or module not in deps:
+            continue
+        reachable.add(module)
+        frontier.extend(deps[module])
+
+    diags: List[Diagnostic] = []
+    for name in sorted(reachable):
+        for line, target in banned.get(name, []):
+            diags.append(Diagnostic(str(modules[name]), line, 0, CODE,
+                                    f"module {name} is reachable from "
+                                    f"`import {pkg}` but imports {target} at "
+                                    f"top level; import it lazily inside the "
+                                    f"function that needs it"))
+    return diags

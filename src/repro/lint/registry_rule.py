@@ -1,0 +1,85 @@
+"""RPR005 — registry completeness for compressors.
+
+Every concrete ``Compressor`` subclass defined under ``compressors/`` must be
+registered with :func:`repro.registry.register_compressor` (as a decorator or
+a module-level call naming the class) — otherwise the codec silently never
+shows up in ``repro list`` / ``compress(codec=...)`` and the archive restore
+path cannot find it.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Set
+
+from repro.lint.core import Diagnostic, FileContext
+
+CODE = "RPR005"
+
+_ABSTRACT_BASES = {"ABC", "ABCMeta", "Protocol"}
+_ABSTRACT_DECORATORS = {"abstractmethod", "abstractproperty"}
+
+
+def _name_of(node: ast.expr) -> str:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Call):
+        return _name_of(node.func)
+    return ""
+
+
+def _is_register_call(node: ast.expr) -> bool:
+    return _name_of(node) == "register_compressor"
+
+
+def _registered_by_call(tree: ast.Module) -> Set[str]:
+    """Class names registered via a module-level ``register_compressor(...)``."""
+    names: Set[str] = set()
+    for node in ast.walk(tree):
+        if not (isinstance(node, ast.Call) and _is_register_call(node.func)):
+            continue
+        for kw in node.keywords:
+            if kw.arg == "cls" and isinstance(kw.value, ast.Name):
+                names.add(kw.value.id)
+        for arg in node.args:
+            if isinstance(arg, ast.Name):
+                names.add(arg.id)
+    return names
+
+
+def _is_abstract(cls: ast.ClassDef) -> bool:
+    if any(_name_of(base) in _ABSTRACT_BASES for base in cls.bases):
+        return True
+    for stmt in cls.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if any(_name_of(dec) in _ABSTRACT_DECORATORS
+                   for dec in stmt.decorator_list):
+                return True
+    return False
+
+
+def check(ctx: FileContext) -> List[Diagnostic]:
+    if "/compressors/" not in f"/{ctx.posix}" or ctx.posix.endswith("__init__.py"):
+        return []
+    registered = _registered_by_call(ctx.tree)
+    diags: List[Diagnostic] = []
+    for cls in ctx.tree.body:
+        if not isinstance(cls, ast.ClassDef):
+            continue
+        base_names = {_name_of(base) for base in cls.bases}
+        if not any(name.endswith("Compressor") for name in base_names):
+            continue
+        if cls.name.startswith("_") or _is_abstract(cls):
+            continue  # internal/abstract intermediate, not a codec
+        if cls.name in registered:
+            continue
+        if any(_is_register_call(dec) for dec in cls.decorator_list):
+            continue
+        diags.append(ctx.diag(cls, CODE,
+                              f"concrete Compressor subclass {cls.name!r} is "
+                              f"not registered with register_compressor; it "
+                              f"will be invisible to the registry, the CLI "
+                              f"and archive restore"))
+    return diags

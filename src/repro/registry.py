@@ -17,14 +17,18 @@ and ``python -m repro compress --compressor mycodec``.
 
 from __future__ import annotations
 
-import threading
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Optional, Tuple
 
-_LOCK = threading.Lock()
-_REGISTRY: Dict[str, "CompressorSpec"] = {}
-_ALIASES: Dict[str, str] = {}
-_CLASS_TO_NAME: Dict[type, str] = {}
+from repro.utils.concurrency import make_lock
+
+_LOCK = make_lock("repro.registry._LOCK")
+_REGISTRY: Dict[str, "CompressorSpec"] = {}  # guarded by: _LOCK
+_ALIASES: Dict[str, str] = {}  # guarded by: _LOCK
+_CLASS_TO_NAME: Dict[type, str] = {}  # guarded by: _LOCK
+# Benign racy latch, deliberately unguarded: _ensure_builtins may run twice
+# concurrently, but registration is idempotent per process (the import
+# machinery serializes the module imports that do the registering).
 _BUILTINS_LOADED = False
 
 
@@ -121,13 +125,14 @@ def compressor_spec(name: str) -> CompressorSpec:
     """Resolve ``name`` (canonical id or alias, case-insensitive) to its spec."""
     _ensure_builtins()
     key = _normalize(name)
-    key = _ALIASES.get(key, key)
-    try:
-        return _REGISTRY[key]
-    except KeyError:
+    with _LOCK:
+        key = _ALIASES.get(key, key)
+        spec = _REGISTRY.get(key)
+    if spec is None:
+        # Raised outside _LOCK: available_compressors() re-takes it.
         raise KeyError(
-            f"unknown compressor {name!r}; choices: {list(available_compressors())}"
-        ) from None
+            f"unknown compressor {name!r}; choices: {list(available_compressors())}")
+    return spec
 
 
 def get_compressor(name: str, **opts) -> Any:
@@ -138,15 +143,17 @@ def get_compressor(name: str, **opts) -> Any:
 def available_compressors() -> Tuple[str, ...]:
     """Canonical names of every registered compressor, sorted."""
     _ensure_builtins()
-    return tuple(sorted(_REGISTRY))
+    with _LOCK:
+        return tuple(sorted(_REGISTRY))
 
 
 def name_for_compressor(compressor: Any) -> str:
     """Map a compressor instance back to its registry name."""
     _ensure_builtins()
-    for klass in type(compressor).__mro__:
-        if klass in _CLASS_TO_NAME:
-            return _CLASS_TO_NAME[klass]
+    with _LOCK:
+        for klass in type(compressor).__mro__:
+            if klass in _CLASS_TO_NAME:
+                return _CLASS_TO_NAME[klass]
     raise KeyError(
         f"{type(compressor).__name__} is not a registered compressor; "
         "register it with repro.registry.register_compressor"

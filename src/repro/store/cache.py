@@ -32,6 +32,8 @@ from typing import Callable, Dict, Hashable, Optional
 
 import numpy as np
 
+from repro.utils.concurrency import install_guards, make_lock
+
 #: Default decoded-tile budget (256 MB) — ~1000 float64 tiles of 32^3, small
 #: against server RAM, large against any single region's working set.
 DEFAULT_CACHE_BYTES = 256 * 1024 * 1024
@@ -56,10 +58,12 @@ class TileCache:
         if max_bytes < 0:
             raise ValueError(f"max_bytes must be >= 0, got {max_bytes}")
         self.max_bytes = max_bytes
-        self._lock = threading.Lock()
-        self._entries: "OrderedDict[Hashable, np.ndarray]" = OrderedDict()
-        self._inflight: Dict[Hashable, _Flight] = {}
-        self._nbytes = 0
+        self._lock = make_lock("TileCache._lock")
+        self._entries: "OrderedDict[Hashable, np.ndarray]" = OrderedDict()  # guarded by: self._lock
+        self._inflight: Dict[Hashable, _Flight] = {}  # guarded by: self._lock
+        self._nbytes = 0  # guarded by: self._lock
+        # Monotonic counters: written under self._lock, read lock-free by
+        # stats consumers (a torn read of an int is impossible in CPython).
         self.hits = 0
         self.misses = 0
         self.loads = 0
@@ -206,3 +210,6 @@ class TileCache:
             _, evicted = self._entries.popitem(last=False)
             self._nbytes -= int(evicted.nbytes)
             self.evictions += 1
+
+
+install_guards(TileCache, "_lock", ("_entries", "_inflight", "_nbytes"))

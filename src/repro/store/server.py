@@ -40,6 +40,8 @@ from repro.store.store import ArchiveStore
 class StoreRequestHandler(BaseHTTPRequestHandler):
     """Routes one request into the server's :class:`ArchiveStore`."""
 
+    server: "StoreHTTPServer"  # narrowed from BaseServer: set by the server
+
     server_version = "repro-serve/1"
     protocol_version = "HTTP/1.1"  # keep-alive; every response sets Content-Length
 

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import os
 import threading
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -40,8 +40,12 @@ from repro.api import (
 from repro.encoding.container import Archive, ChunkedIndex, GridIndex
 from repro.registry import compressor_spec
 from repro.store.cache import DEFAULT_CACHE_BYTES, TileCache
+from repro.utils.concurrency import install_guards, make_lock
 
 IndexType = Union[Archive, ChunkedIndex, GridIndex]
+
+#: What ``add`` accepts: archive bytes, or a path to an archive file.
+SourceType = Union[bytes, bytearray, memoryview, str, os.PathLike]
 
 
 # ---------------------------------------------------------------------------
@@ -57,7 +61,7 @@ class _PReadHandle:
     keeps the same interface.
     """
 
-    def __init__(self, path):
+    def __init__(self, path: Union[str, os.PathLike]):
         # O_BINARY matters exactly where the fallback does (Windows): without
         # it the CRT text mode mangles \r\n and stops at 0x1A mid-payload.
         self._fd = os.open(os.fspath(path),
@@ -99,7 +103,7 @@ class _PReadHandle:
         return False
 
 
-def _open_handle(source):
+def _open_handle(source: SourceType):
     """A thread-safe random-access handle: pread for files, slices for bytes.
 
     In-memory sources reuse :class:`repro.api._BytesReader` directly —
@@ -141,9 +145,9 @@ class _Entry:
         # (even across stores sharing one TileCache).
         self.token = object()
         self.decode_opts = decode_opts
-        self._pin_lock = threading.Lock()
-        self._pins = 0
-        self._retired = False
+        self._pin_lock = make_lock("_Entry._pin_lock")
+        self._pins = 0  # guarded by: self._pin_lock
+        self._retired = False  # guarded by: self._pin_lock
 
     def pin(self) -> None:
         with self._pin_lock:
@@ -207,15 +211,16 @@ class ArchiveStore:
     def __init__(self, *, cache_bytes: int = DEFAULT_CACHE_BYTES,
                  cache: Optional[TileCache] = None):
         self._cache = cache if cache is not None else TileCache(cache_bytes)
-        self._lock = threading.Lock()
-        self._entries: Dict[str, _Entry] = {}
-        self._closed = False
-        self._stats_lock = threading.Lock()
-        self._tile_decodes = 0
-        self._region_reads = 0
+        self._lock = make_lock("ArchiveStore._lock")
+        self._entries: Dict[str, _Entry] = {}  # guarded by: self._lock
+        self._closed = False  # guarded by: self._lock
+        self._stats_lock = make_lock("ArchiveStore._stats_lock")
+        self._tile_decodes = 0  # guarded by: self._stats_lock
+        self._region_reads = 0  # guarded by: self._stats_lock
 
     # ------------------------------------------------------------- lifecycle
-    def add(self, key: str, source, *, model=None, autoencoder=None,
+    def add(self, key: str, source: SourceType, *, model: Any = None,
+            autoencoder: Any = None,
             codec_options: Optional[dict] = None) -> str:
         """Open ``source`` (path or bytes) and register it under ``key``.
 
@@ -448,3 +453,8 @@ class ArchiveStore:
             # Empty region (nothing decoded): exact shape, header dtype.
             result = np.empty(region_shape, dtype=np.dtype(entry.index.dtype))
         return result
+
+
+install_guards(_Entry, "_pin_lock", ("_pins", "_retired"))
+install_guards(ArchiveStore, "_lock", ("_entries", "_closed"))
+install_guards(ArchiveStore, "_stats_lock", ("_tile_decodes", "_region_reads"))

@@ -1,5 +1,15 @@
-"""Small shared utilities: RNG handling, timing, validation, parallel map."""
+"""Small shared utilities: RNG, timing, validation, parallel map, sanitizer."""
 
+from repro.utils.concurrency import (
+    CheckedLock,
+    GuardedAccessError,
+    LockOrderError,
+    LockUsageError,
+    SanitizerError,
+    install_guards,
+    make_lock,
+    sanitize_enabled,
+)
 from repro.utils.rng import as_rng, spawn_rngs
 from repro.utils.timing import Timer, throughput_mb_s
 from repro.utils.validation import (
@@ -11,6 +21,14 @@ from repro.utils.validation import (
 from repro.utils.parallel import parallel_imap, parallel_map
 
 __all__ = [
+    "CheckedLock",
+    "GuardedAccessError",
+    "LockOrderError",
+    "LockUsageError",
+    "SanitizerError",
+    "install_guards",
+    "make_lock",
+    "sanitize_enabled",
     "as_rng",
     "spawn_rngs",
     "Timer",
