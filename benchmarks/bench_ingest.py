@@ -1,0 +1,155 @@
+"""Ingest-path benchmark: streaming publish throughput + replace latency.
+
+The persistent write path (:class:`repro.store.IngestManager`) streams an
+upload through ``compress_chunked``, stages the archive to a temp file,
+verifies it (header parse + per-tile CRC spot-check) and atomically
+publishes it into the manifest and the live :class:`ArchiveStore`.  This
+benchmark quantifies what that durability pipeline costs:
+
+* **ingest MB/s** — raw field bytes through ``IngestManager.ingest`` per
+  second, end to end (compress + fsync + verify + publish), for both a
+  fresh key and a replacement of a live key,
+* **warm-read-after-replace** — latency of the first region read after a
+  replace (the decoded-tile cache is scoped per archive generation, so a
+  replace always starts cold) versus a warm read on the same generation.
+
+Correctness is asserted on every run: a region read through the store after
+ingest must be **bit-identical** to ``repro.read_region`` on the published
+archive file, and after a replace the store must serve the *new* field's
+bytes.  ``--smoke`` runs a CI-sized field; ``--out`` writes the rows as
+JSON (``BENCH_7.json`` — the first point of the perf trajectory).
+
+Run standalone with ``python benchmarks/bench_ingest.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+if __package__ in (None, ""):  # standalone execution
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1]))
+
+import repro
+from repro.bounds import Rel
+from repro.store import ArchiveStore, IngestManager
+
+BOUND = Rel(1e-3)
+CODEC = "szinterp"  # fully vectorized error-bounded codec: the fair baseline
+
+# Full run: 512x512x16 float64 field (~32 MB raw).  Smoke: 96x96x8 (~0.6 MB).
+FULL_SHAPE = (512, 512, 16)
+SMOKE_SHAPE = (96, 96, 8)
+
+REGION = (slice(4, 20), slice(4, 20), slice(0, 4))
+
+
+def _field(shape, seed: int = 0) -> np.ndarray:
+    """A smooth field (cumsum of white noise, SDRBench-like)."""
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal(shape).cumsum(axis=0)
+
+
+def _row_blocks(arr: np.ndarray, rows: int = 32):
+    for start in range(0, arr.shape[0], rows):
+        yield arr[start:start + rows]
+
+
+def _ingest_once(manager: IngestManager, key: str, arr: np.ndarray) -> float:
+    lo, hi = float(arr.min()), float(arr.max())
+    t0 = time.perf_counter()
+    manager.ingest(key, _row_blocks(arr), codec=CODEC, bound=BOUND,
+                   data_range=(lo, hi))
+    return time.perf_counter() - t0
+
+
+def run_ingest_bench(shape, repeats: int = 3,
+                     workdir: Path | None = None) -> dict:
+    data = _field(shape)
+    data2 = _field(shape, seed=1)
+    raw_mb = data.nbytes / 1e6
+    with tempfile.TemporaryDirectory(dir=workdir) as tmp:
+        with ArchiveStore() as store:
+            manager = IngestManager(Path(tmp), store)
+
+            # Fresh-key ingest (key per repeat: each run creates, none replace).
+            create_s = min(_ingest_once(manager, f"fresh{i}", data)
+                           for i in range(repeats))
+
+            # Replace ingest: the same live key overwritten repeatedly.
+            _ingest_once(manager, "field", data)
+            replace_s = min(_ingest_once(manager, "field", data)
+                            for _ in range(repeats))
+
+            # Identity: store read == one-shot read of the published file.
+            entry = manager.manifest.get("field")
+            path = manager.root / entry.path
+            got = store.read_region("field", REGION)
+            want = repro.read_region(path, REGION)
+            if not np.array_equal(got, want):
+                raise AssertionError(
+                    "store read after ingest differs from read_region on the "
+                    "published archive file")
+
+            # Warm read on the current generation ...
+            store.read_region("field", REGION)
+            t0 = time.perf_counter()
+            store.read_region("field", REGION)
+            warm_read_s = time.perf_counter() - t0
+
+            # ... vs the first read right after a replace (cold by design:
+            # the tile cache is keyed by archive content token).
+            _ingest_once(manager, "field", data2)
+            t0 = time.perf_counter()
+            after = store.read_region("field", REGION)
+            post_replace_read_s = time.perf_counter() - t0
+
+            entry2 = manager.manifest.get("field")
+            want2 = repro.read_region(manager.root / entry2.path, REGION)
+            if not np.array_equal(after, want2):
+                raise AssertionError(
+                    "read after replace does not serve the new archive")
+            if np.array_equal(after, want):
+                raise AssertionError(
+                    "read after replace still served the old field")
+
+    return {
+        "field": "x".join(str(s) for s in shape) + " float64",
+        "raw_mb": round(raw_mb, 2),
+        "ingest_s": round(create_s, 4),
+        "ingest_mb_per_s": round(raw_mb / create_s, 1),
+        "replace_s": round(replace_s, 4),
+        "replace_mb_per_s": round(raw_mb / replace_s, 1),
+        "warm_read_ms": round(warm_read_s * 1e3, 3),
+        "post_replace_read_ms": round(post_replace_read_s * 1e3, 3),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="small CI-sized run (identity/replace assertions "
+                             "hold in every mode)")
+    parser.add_argument("--out", type=Path, default=None,
+                        help="also write the result row as JSON "
+                             "(e.g. BENCH_7.json)")
+    args = parser.parse_args(argv)
+    row = run_ingest_bench(SMOKE_SHAPE if args.smoke else FULL_SHAPE)
+    print(" ".join(f"{k}={v}" for k, v in row.items()))
+    if args.out is not None:
+        args.out.write_text(json.dumps(row, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {args.out}")
+    print("ingested reads bit-identical to read_region on the published "
+          "file; post-replace reads serve the new archive only")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -202,11 +202,27 @@ def build_parser() -> argparse.ArgumentParser:
     # ------------------------------------------------------------------ serve
     srv = sub.add_parser("serve",
                          help="serve region reads from archives over HTTP "
-                              "(thread-safe store + decoded-tile LRU cache)")
-    srv.add_argument("archives", nargs="+", metavar="KEY=PATH",
+                              "(thread-safe store + decoded-tile LRU cache); "
+                              "with --root also a durable, writable store")
+    srv.add_argument("archives", nargs="*", metavar="KEY=PATH",
                      help="archives to serve, each KEY=PATH (KEY becomes the "
                           "/v1/KEY/... URL segment) or a bare PATH (key = "
-                          "file stem)")
+                          "file stem); optional when --root is given")
+    srv.add_argument("--root", metavar="DIR",
+                     help="store root directory: keys are replayed from its "
+                          "durable manifest at startup and (with --writable) "
+                          "ingested archives are published under it")
+    srv.add_argument("--writable", action="store_true",
+                     help="enable POST/DELETE /v1/<key> ingest routes "
+                          "(requires --root)")
+    srv.add_argument("--auth-token", metavar="TOKEN",
+                     help="set the store-wide '*' bearer token in the "
+                          "manifest before serving (mutating routes then "
+                          "require Authorization: Bearer TOKEN; requires "
+                          "--root)")
+    srv.add_argument("--quota-mb", type=float, default=1024.0,
+                     help="per-key upload quota in MB of raw field bytes "
+                          "(default 1024; 0 = unlimited)")
     srv.add_argument("--host", default="127.0.0.1",
                      help="bind address (default 127.0.0.1)")
     srv.add_argument("--port", type=int, default=8000,
@@ -218,6 +234,35 @@ def build_parser() -> argparse.ArgumentParser:
                                      "every served archive)")
     srv.add_argument("--verbose", action="store_true",
                      help="log one line per request to stderr")
+
+    # ------------------------------------------------------------------- push
+    push = sub.add_parser("push",
+                          help="stream a field to a writable store node "
+                               "(POST /v1/KEY with chunked transfer)")
+    push.add_argument("url", metavar="URL",
+                      help="server base URL, e.g. http://127.0.0.1:8000")
+    push.add_argument("key", metavar="KEY",
+                      help="the key to publish (one URL path segment)")
+    push.add_argument("input", metavar="FIELD", nargs="?",
+                      help="field file: .npy (self-describing, opened "
+                           "memory-mapped) or raw float32 with --dims "
+                           "(omit with --delete)")
+    _add_dims(push, required=False)
+    push.add_argument("--error-bound", "--bound", dest="error_bound",
+                      type=float, default=1e-3,
+                      help="error-bound value (default 1e-3, interpreted per "
+                           "--mode)")
+    push.add_argument("--mode", choices=list(MODES), default="rel",
+                      help="bound mode: rel (default), abs, ptw_rel")
+    push.add_argument("--compressor", "--codec", dest="compressor",
+                      default="sz21",
+                      help="codec name on the server (model-free codecs "
+                           "only; default sz21)")
+    push.add_argument("--token", help="bearer token for the server's "
+                                      "mutating routes")
+    push.add_argument("--delete", action="store_true",
+                      help="delete KEY on the server instead of pushing "
+                           "(FIELD is ignored)")
 
     # ------------------------------------------------------------------- lint
     lint = sub.add_parser("lint",
@@ -383,10 +428,32 @@ def _cmd_extract(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    from repro.store import ArchiveStore, make_server
+    from repro.store import ArchiveStore, IngestManager, make_server
 
+    if args.writable and not args.root:
+        raise SystemExit("--writable needs --root DIR (the ingest path is "
+                         "durable: archives and the manifest live under it)")
+    if args.auth_token and not args.root:
+        raise SystemExit("--auth-token needs --root DIR (tokens persist in "
+                         "the root's manifest)")
+    if not args.archives and not args.root:
+        raise SystemExit("nothing to serve: pass KEY=PATH archives and/or "
+                         "--root DIR")
     store = ArchiveStore(cache_bytes=int(args.cache_mb * 1024 * 1024))
+    manager = None
     try:
+        if args.root:
+            quota = (int(args.quota_mb * 1024 * 1024)
+                     if args.quota_mb > 0 else None)
+            manager = IngestManager(args.root, store, quota_bytes=quota,
+                                    model=args.model)
+            for stale in manager.sweep():
+                print(f"  swept stale file: {stale}", file=sys.stderr)
+            for key, reason in manager.replay():
+                print(f"  cannot serve manifest key {key!r}: {reason}",
+                      file=sys.stderr)
+            if args.auth_token:
+                manager.manifest.set_auth("*", args.auth_token)
         for spec in args.archives:
             key, sep, path = spec.partition("=")
             # KEY=PATH only when the left side could be a key and the whole
@@ -401,7 +468,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         raise SystemExit(str(exc))
     try:
         server = make_server(store, args.host, args.port,
-                             quiet=not args.verbose)
+                             quiet=not args.verbose,
+                             ingest=manager if args.writable else None)
     except OSError as exc:  # e.g. the port is already in use
         store.close()
         raise SystemExit(f"cannot bind {args.host}:{args.port}: {exc}")
@@ -409,8 +477,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         index = store.info(key)
         print(f"  {server.url}/v1/{key}/region?r=...  "
               f"[{index.codec}, shape {index.shape}, dtype {index.dtype}]")
+    mode = " [writable]" if args.writable else ""
     # The port line last, flushed: launchers (tests, scripts) wait for it.
-    print(f"serving {len(store.keys())} archive(s) on {server.url} "
+    print(f"serving {len(store.keys())} archive(s) on {server.url}{mode} "
           f"(Ctrl-C to stop)", flush=True)
     try:
         server.serve_forever()
@@ -419,6 +488,36 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     finally:
         server.server_close()
         store.close()
+    return 0
+
+
+def _cmd_push(args: argparse.Namespace) -> int:
+    from repro.store import PushError, delete_key, push_field
+
+    try:
+        if args.delete:
+            payload = delete_key(args.url, args.key, token=args.token)
+            print(f"{args.key}: deleted from {args.url} "
+                  f"(was generation {payload.get('generation', '?')})")
+            return 0
+        if not args.input:
+            raise SystemExit("push needs a FIELD file (or --delete)")
+        bound = ErrorBound(args.mode, args.error_bound)
+        payload = push_field(args.url, args.key, args.input, bound=bound,
+                             dims=args.dims, codec=args.compressor,
+                             token=args.token)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(str(exc))
+    except PushError as exc:
+        raise SystemExit(f"push refused by {args.url}: {exc}")
+    verb = "created" if payload.get("created") else "replaced"
+    field_bytes = int(np.prod(payload["shape"], dtype=np.int64)
+                      * np.dtype(payload["dtype"]).itemsize)
+    print(f"{args.input} -> {args.url}/v1/{args.key}: {verb} generation "
+          f"{payload['generation']} ({payload['archive_bytes']} bytes, "
+          f"ratio {compression_ratio(field_bytes, payload['archive_bytes']):.2f}x, "
+          f"codec {payload['codec']}, bound {payload['bound']['mode']}="
+          f"{payload['bound']['value']:g}, token {payload['token'][:12]}...)")
     return 0
 
 
@@ -494,7 +593,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {"list": _cmd_list, "train": _cmd_train, "compress": _cmd_compress,
                 "decompress": _cmd_decompress, "extract": _cmd_extract,
-                "serve": _cmd_serve, "info": _cmd_info, "lint": _cmd_lint}
+                "serve": _cmd_serve, "push": _cmd_push, "info": _cmd_info,
+                "lint": _cmd_lint}
     return handlers[args.command](args)
 
 

@@ -19,13 +19,16 @@ from repro.lint.core import Diagnostic, FileContext, exc_names
 
 CODE = "RPR002"
 
-#: Modules whose job is decoding untrusted bytes.
+#: Modules whose job is decoding untrusted bytes.  The store modules parse
+#: network-supplied upload bodies and on-disk manifests — both untrusted.
 PARSING_MODULE_SUFFIXES = (
     "repro/encoding/container.py",
     "repro/encoding/huffman.py",
     "repro/encoding/entropy.py",
     "repro/encoding/bitstream.py",
     "repro/api.py",
+    "repro/store/manifest.py",
+    "repro/store/ingest.py",
 )
 
 #: Function-name shapes that take raw input bytes apart.

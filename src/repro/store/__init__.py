@@ -1,4 +1,4 @@
-"""Concurrent archive read service: shared caches + a thread-safe store + HTTP.
+"""Concurrent archive service: shared caches, a thread-safe store, HTTP, ingest.
 
 The one-shot facade (:func:`repro.read_region`) re-opens the file, re-parses
 the header and re-decodes every intersecting tile on each call — right for a
@@ -10,27 +10,52 @@ package is the serving layer:
   one decode instead of repeating it).
 * :class:`ArchiveStore` — keeps archives open by key, parses each header
   exactly once, and serves ``read_region`` / ``read_regions`` through the
-  shared cache using lock-free positional reads (``os.pread``).
+  shared cache using lock-free positional reads (``os.pread``); ``replace``
+  swaps a key to a new archive atomically while pinned readers drain.
+* :class:`StoreManifest` / :class:`IngestManager` — the durable write path:
+  a crash-safe JSON manifest under a ``--root`` directory, streaming
+  compress-on-upload, staged+verified archive files and atomic
+  publish/replace (``repro serve --root DIR --writable``).
 * :func:`make_server` — a stdlib-only threaded HTTP endpoint over a store
   (``GET /v1/<key>/region?r=10:20,0:64,5:9`` → raw bytes plus a
-  JSON-described header), wired to the CLI as ``python -m repro serve``.
+  JSON-described header; with an ingest manager also ``POST`` /
+  ``DELETE /v1/<key>`` and ``/metrics``), wired to the CLI as
+  ``python -m repro serve``; :func:`push_field` is its write client
+  (``python -m repro push``).
 """
 
 from repro.store.cache import DEFAULT_CACHE_BYTES, TileCache
+from repro.store.ingest import (
+    DEFAULT_QUOTA_BYTES,
+    IngestConflictError,
+    IngestManager,
+    IngestQuotaError,
+    IngestVerifyError,
+)
+from repro.store.manifest import ManifestEntry, StoreManifest
 from repro.store.store import ArchiveStore
 
-__all__ = ["ArchiveStore", "DEFAULT_CACHE_BYTES", "StoreHTTPServer",
-           "TileCache", "make_server"]
+__all__ = ["ArchiveStore", "DEFAULT_CACHE_BYTES", "DEFAULT_QUOTA_BYTES",
+           "IngestConflictError", "IngestManager", "IngestQuotaError",
+           "IngestVerifyError", "ManifestEntry", "PushError",
+           "StoreHTTPServer", "StoreManifest", "TileCache", "delete_key",
+           "make_server", "push_field"]
 
 _SERVER_NAMES = ("StoreHTTPServer", "make_server")
+_CLIENT_NAMES = ("PushError", "delete_key", "push_field")
 
 
 def __getattr__(name):
-    # The HTTP shell drags in http.server/socketserver; load it only when a
-    # server symbol is actually requested, so plain `import repro` (library
-    # use, CLI compress, every test worker) stays lean.
+    # The HTTP shell drags in http.server/socketserver (and the client
+    # http.client); load them only when a server/client symbol is actually
+    # requested, so plain `import repro` (library use, CLI compress, every
+    # test worker) stays lean.
     if name in _SERVER_NAMES:
         from repro.store import server
 
         return getattr(server, name)
+    if name in _CLIENT_NAMES:
+        from repro.store import client
+
+        return getattr(client, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

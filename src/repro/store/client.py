@@ -1,0 +1,161 @@
+"""Thin write client for a writable store node: ``repro push`` lives here.
+
+:func:`push_field` streams a field to ``POST /v1/<key>`` without ever
+materializing it: the source stays a memory-mapped array and goes out as
+chunked-transfer row slabs, so fields larger than RAM push in bounded
+memory.  A ``rel`` bound needs the global value range, which the client
+computes with a streaming min/max pass over the same slabs (the server
+cannot replay the stream).
+
+Stdlib-only (``http.client``), mirroring the server side.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from http.client import HTTPConnection, HTTPSConnection
+from pathlib import Path
+from typing import Iterator, Optional, Tuple, Union
+from urllib.parse import quote, urlsplit
+
+import numpy as np
+
+from repro.bounds import MODE_REL, as_bound
+
+#: Upload granularity: whole rows totalling about this many bytes per chunk.
+DEFAULT_CHUNK_BYTES = 1 << 20
+
+
+class PushError(RuntimeError):
+    """A push/delete was refused; ``status`` carries the HTTP code."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+
+
+def open_field(source, dims=None) -> np.ndarray:
+    """Resolve a push source to an array without loading it into RAM.
+
+    ``.npy`` paths open memory-mapped; raw float32 files need ``dims`` and
+    open as a read-only memmap; arrays pass through.
+    """
+    if isinstance(source, np.ndarray):
+        return source
+    path = Path(source)
+    if path.suffix == ".npy":
+        return np.load(path, mmap_mode="r")
+    if dims is None:
+        raise ValueError(
+            f"raw field file {str(path)!r} needs dims= (only .npy files are "
+            f"self-describing)")
+    return np.memmap(path, dtype=np.float32, mode="r",
+                     shape=tuple(int(d) for d in dims))
+
+
+def _row_slabs(arr: np.ndarray, chunk_bytes: int) -> Iterator[np.ndarray]:
+    """Whole-row slabs of roughly ``chunk_bytes`` each (at least one row)."""
+    if arr.ndim == 0:
+        yield arr.reshape(1)
+        return
+    row_bytes = int(np.prod(arr.shape[1:], dtype=np.int64)) * arr.dtype.itemsize
+    rows = max(1, chunk_bytes // max(1, row_bytes))
+    for start in range(0, arr.shape[0], rows):
+        yield arr[start:start + rows]
+
+
+def _streamed_range(arr: np.ndarray, chunk_bytes: int) -> Tuple[float, float]:
+    lo, hi = math.inf, -math.inf
+    for slab in _row_slabs(arr, chunk_bytes):
+        lo = min(lo, float(np.min(slab)))
+        hi = max(hi, float(np.max(slab)))
+    return lo, hi
+
+
+def _connect(url: str, timeout: float):
+    parts = urlsplit(url)
+    if parts.scheme == "https":
+        conn: HTTPConnection = HTTPSConnection(parts.hostname,
+                                               parts.port or 443,
+                                               timeout=timeout)
+    elif parts.scheme == "http":
+        conn = HTTPConnection(parts.hostname, parts.port or 80,
+                              timeout=timeout)
+    else:
+        raise ValueError(f"unsupported server URL {url!r} (need http/https)")
+    return conn
+
+
+def _finish(conn) -> dict:
+    resp = conn.getresponse()
+    raw = resp.read()
+    try:
+        payload = json.loads(raw) if raw else {}
+    except json.JSONDecodeError:
+        payload = {"error": raw.decode("utf-8", "replace")[:200]}
+    if resp.status >= 400:
+        raise PushError(resp.status, payload.get("error", resp.reason))
+    payload["status"] = resp.status
+    return payload
+
+
+def push_field(url: str, key: str,
+               source: Union[np.ndarray, str, Path], *,
+               bound=1e-3, dims=None, codec: str = "sz21",
+               token: Optional[str] = None,
+               data_range: Optional[Tuple[float, float]] = None,
+               chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+               timeout: float = 600.0) -> dict:
+    """Stream ``source`` to ``POST {url}/v1/{key}`` and return the response.
+
+    ``bound`` is an :class:`~repro.bounds.ErrorBound` or a bare number
+    (= ``Rel``); for ``rel`` the value range is computed in a streaming pass
+    unless ``data_range`` is given.  ``token`` authenticates against the
+    server's manifest (``Authorization: Bearer``).  Raises
+    :class:`PushError` on any non-2xx response.
+    """
+    arr = open_field(source, dims)
+    bound = as_bound(bound)
+    if bound.mode == MODE_REL and data_range is None:
+        data_range = _streamed_range(arr, chunk_bytes)
+    headers = {
+        "X-Repro-Shape": ",".join(str(int(s)) for s in arr.shape),
+        "X-Repro-Dtype": str(arr.dtype),
+        "X-Repro-Bound": repr(float(bound.value)),
+        "X-Repro-Bound-Mode": bound.mode,
+        "X-Repro-Codec": codec,
+    }
+    if data_range is not None:
+        headers["X-Repro-Data-Range"] = f"{data_range[0]!r},{data_range[1]!r}"
+    if token is not None:
+        headers["Authorization"] = f"Bearer {token}"
+    body = (np.ascontiguousarray(slab).tobytes()
+            for slab in _row_slabs(arr, chunk_bytes))
+    conn = _connect(url, timeout)
+    try:
+        try:
+            conn.request("POST", f"/v1/{quote(key, safe='')}", body=body,
+                         headers=headers, encode_chunked=True)
+        except (BrokenPipeError, ConnectionResetError):
+            # The server refused early (401/405/413/...) and closed its end
+            # while the body was still streaming; the response is already on
+            # the wire — read it so the caller sees the status, not EPIPE.
+            pass
+        return _finish(conn)
+    finally:
+        conn.close()
+
+
+def delete_key(url: str, key: str, *, token: Optional[str] = None,
+               timeout: float = 60.0) -> dict:
+    """``DELETE /v1/{key}`` on a writable store node."""
+    headers = {}
+    if token is not None:
+        headers["Authorization"] = f"Bearer {token}"
+    conn = _connect(url, timeout)
+    try:
+        conn.request("DELETE", f"/v1/{quote(key, safe='')}", headers=headers)
+        return _finish(conn)
+    finally:
+        conn.close()

@@ -1,14 +1,19 @@
-"""Stdlib-only HTTP read service over an :class:`ArchiveStore`.
+"""Stdlib-only HTTP service over an :class:`ArchiveStore` — reads and ingest.
 
 One thread per request (``ThreadingHTTPServer``) on top of the store's
 thread-safe cached read path — the serving shape the paper's amortized
 workflow wants: one long-lived process holding the parsed headers and the
-decoded-tile cache, many concurrent clients pulling regions.
+decoded-tile cache, many concurrent clients pulling regions, and (on a
+writable node) pushing new fields in.
 
-Routes (GET only):
+Read routes (GET):
 
 ``/healthz``
     Liveness + the store's cache/read counters, as JSON.
+``/metrics``
+    Operational counters as JSON: the :class:`TileCache` hit/miss/load/
+    eviction counters, ``tile_decodes``/``region_reads``, and per-route
+    request counts, error counts and latency sums.
 ``/v1/<key>/info``
     The archive's header as JSON: codec, shape, dtype, bound, envelope
     version and (for chunked/grid archives) the tile geometry.
@@ -18,23 +23,78 @@ Routes (GET only):
     a JSON object carrying both and the normalized region.  Reconstruct with
     ``numpy.frombuffer(body, dtype).reshape(shape)``.
 
-Errors are JSON bodies ``{"error": ...}``: 400 for a malformed or mismatched
-region, 404 for unknown keys/paths, 500 for decode failures (e.g. a corrupt
-tile).  A 500 is scoped to the affected request — failed decodes are never
-cached, so other regions (and retries) keep serving.
+Write routes (enabled by passing an :class:`IngestManager` — the CLI's
+``repro serve --root DIR --writable``):
+
+``POST /v1/<key>``
+    Stream-ingest a field: the body is the raw C-order field bytes (sized by
+    ``Content-Length`` or ``Transfer-Encoding: chunked``), described by the
+    ``X-Repro-Shape`` / ``X-Repro-Dtype`` headers, compressed under
+    ``X-Repro-Bound`` / ``X-Repro-Bound-Mode`` (+ ``X-Repro-Data-Range`` for
+    ``rel`` over a stream) with codec ``X-Repro-Codec``.  Publishes (201) or
+    atomically replaces (200) the key; concurrent ingest of the same key is
+    409, a body over the per-key quota is 413.
+``DELETE /v1/<key>``
+    Remove the key from the manifest and the store; the archive file is
+    unlinked once in-flight readers drain.
+
+When the manifest carries bearer tokens, mutating routes require
+``Authorization: Bearer <token>`` (per-key token, falling back to the
+``"*"`` default) and fail closed with 401; read routes stay open.
+
+Errors are JSON bodies ``{"error": ...}``: 400 for malformed requests or
+upload bodies, 404 for unknown keys/routes, 405 for writes to a read-only
+server, 500 for decode/verify failures (e.g. a corrupt tile).  A 500 is
+scoped to the affected request — failed decodes are never cached, so other
+regions (and retries) keep serving.
 """
 
 from __future__ import annotations
 
+import hmac
 import json
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Tuple
+from typing import Dict, Optional, Tuple
 from urllib.parse import parse_qs, unquote, urlparse
 
 import numpy as np
 
-from repro.api import normalize_region, parse_region
+from repro.api import DEFAULT_CHUNK_ELEMS, normalize_region, parse_region
+from repro.bounds import ErrorBound, MODES
+from repro.store.ingest import (
+    IngestConflictError,
+    IngestManager,
+    IngestQuotaError,
+    IngestVerifyError,
+    limit_stream,
+    read_chunked_stream,
+    read_row_blocks,
+    read_sized_stream,
+)
 from repro.store.store import ArchiveStore
+from repro.utils.concurrency import install_guards, make_lock
+
+
+class RouteMetrics:
+    """Thread-safe per-route request counters + latency sums for ``/metrics``."""
+
+    def __init__(self):
+        self._lock = make_lock("RouteMetrics._lock")
+        self._routes: Dict[str, dict] = {}  # guarded by: self._lock
+
+    def record(self, route: str, status: int, seconds: float) -> None:
+        with self._lock:
+            row = self._routes.setdefault(
+                route, {"requests": 0, "errors": 0, "seconds": 0.0})
+            row["requests"] += 1
+            if status >= 400 or status == 0:
+                row["errors"] += 1
+            row["seconds"] += seconds
+
+    def snapshot(self) -> Dict[str, dict]:
+        with self._lock:
+            return {route: dict(row) for route, row in self._routes.items()}
 
 
 class StoreRequestHandler(BaseHTTPRequestHandler):
@@ -42,29 +102,78 @@ class StoreRequestHandler(BaseHTTPRequestHandler):
 
     server: "StoreHTTPServer"  # narrowed from BaseServer: set by the server
 
-    server_version = "repro-serve/1"
+    server_version = "repro-serve/2"
     protocol_version = "HTTP/1.1"  # keep-alive; every response sets Content-Length
+
+    _last_status = 0  # the code of the last send_response on this connection
+
+    def send_response(self, code, message=None) -> None:
+        self._last_status = code
+        super().send_response(code, message)
 
     # ----------------------------------------------------------------- routes
     def do_GET(self) -> None:  # noqa: N802 (http.server naming)
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._dispatch("POST")
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        self._dispatch("DELETE")
+
+    def _dispatch(self, method: str) -> None:
+        start = time.perf_counter()
+        route = "other"
+        self._last_status = 0
         try:
             parsed = urlparse(self.path)
             parts = [unquote(p) for p in parsed.path.split("/") if p]
-            if parts == ["healthz"]:
-                self._healthz()
-            elif len(parts) == 3 and parts[0] == "v1" and parts[2] == "info":
-                self._info(parts[1])
-            elif len(parts) == 3 and parts[0] == "v1" and parts[2] == "region":
-                self._region(parts[1], parse_qs(parsed.query))
-            else:
-                self._send_json(404, {"error": f"no route for {parsed.path!r}"})
+            route, handler = self._resolve(method, parts, parsed)
+            handler()
         except (BrokenPipeError, ConnectionResetError):  # pragma: no cover
             pass  # client went away mid-response; nothing to salvage
+        finally:
+            self.server.metrics.record(route, self._last_status,
+                                       time.perf_counter() - start)
 
+    def _resolve(self, method: str, parts, parsed) -> Tuple[str, object]:
+        """Map (method, path) to a (metrics route name, handler thunk)."""
+        if method == "GET":
+            if parts == ["healthz"]:
+                return "healthz", self._healthz
+            if parts == ["metrics"]:
+                return "metrics", self._metrics
+            if len(parts) == 3 and parts[0] == "v1" and parts[2] == "info":
+                return "info", lambda: self._info(parts[1])
+            if len(parts) == 3 and parts[0] == "v1" and parts[2] == "region":
+                return "region", lambda: self._region(parts[1],
+                                                      parse_qs(parsed.query))
+        elif len(parts) == 2 and parts[0] == "v1":
+            if method == "POST":
+                return "ingest", lambda: self._ingest(parts[1])
+            if method == "DELETE":
+                return "delete", lambda: self._delete(parts[1])
+        return "other", lambda: self._send_json(
+            404, {"error": f"no {method} route for {parsed.path!r}"})
+
+    # ------------------------------------------------------------- GET routes
     def _healthz(self) -> None:
         self._send_json(200, {"status": "ok",
                               "archives": list(self.server.store.keys()),
                               "stats": self.server.store.stats()})
+
+    def _metrics(self) -> None:
+        stats = self.server.store.stats()
+        self._send_json(200, {
+            "cache": {k: stats[k] for k in ("entries", "nbytes", "max_bytes",
+                                            "hits", "misses", "loads",
+                                            "evictions")},
+            "tile_decodes": stats["tile_decodes"],
+            "region_reads": stats["region_reads"],
+            "archives": stats["archives"],
+            "routes": self.server.metrics.snapshot(),
+            "writable": self.server.ingest is not None,
+        })
 
     def _info(self, key: str) -> None:
         index = self._index_or_404(key)
@@ -135,7 +244,169 @@ class StoreRequestHandler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
+    # ----------------------------------------------------------- write routes
+    def _ingest(self, key: str) -> None:
+        manager = self._manager_or_405()
+        if manager is None or not self._authorized(key):
+            return
+        try:
+            params = self._ingest_params()
+        except ValueError as exc:
+            self._send_json(400, {"error": str(exc)}, close=True)
+            return
+        quota = manager.quota_bytes
+        length = self.headers.get("Content-Length")
+        te = self.headers.get("Transfer-Encoding", "")
+        if "chunked" in te.lower():
+            chunks = read_chunked_stream(self.rfile)
+        elif length is not None:
+            try:
+                body_bytes = int(length)
+            except ValueError:
+                self._send_json(400, {"error": f"corrupt upload body: invalid "
+                                               f"Content-Length {length!r}"},
+                                close=True)
+                return
+            if quota is not None and body_bytes > quota:
+                self._send_json(413, {"error": f"upload of {body_bytes} bytes "
+                                               f"exceeds the per-key quota of "
+                                               f"{quota} bytes"}, close=True)
+                return
+            chunks = read_sized_stream(self.rfile, body_bytes)
+        else:
+            self._send_json(411, {"error": "upload needs Content-Length or "
+                                           "Transfer-Encoding: chunked"},
+                            close=True)
+            return
+        created = manager.manifest.get(key) is None
+        blocks = read_row_blocks(limit_stream(chunks, quota, key),
+                                 params["shape"], params["dtype"])
+        try:
+            entry = manager.ingest(key, blocks, codec=params["codec"],
+                                   bound=params["bound"],
+                                   chunk_size=params["chunk_size"],
+                                   data_range=params["data_range"])
+        except IngestConflictError as exc:
+            self._send_json(409, {"error": str(exc)}, close=True)
+            return
+        except IngestQuotaError as exc:
+            self._send_json(413, {"error": str(exc)}, close=True)
+            return
+        except ValueError as exc:
+            # Caller-side faults: malformed body framing/row count, unknown
+            # codec, bad bound, rel bound without a data range.
+            self._send_json(400, {"error": str(exc)}, close=True)
+            return
+        except (IngestVerifyError, OSError) as exc:
+            self._send_json(500, {"error": str(exc)}, close=True)
+            return
+        self._send_json(201 if created else 200, {
+            "key": key,
+            "created": created,
+            "generation": entry.generation,
+            "archive_bytes": entry.nbytes,
+            "token": entry.token,
+            "codec": entry.codec,
+            "shape": entry.shape,
+            "dtype": entry.dtype,
+            "bound": entry.bound,
+            "path": entry.path,
+        })
+
+    def _delete(self, key: str) -> None:
+        manager = self._manager_or_405()
+        if manager is None or not self._authorized(key):
+            return
+        try:
+            entry = manager.delete(key)
+        except KeyError as exc:
+            self._send_json(404, {"error": str(exc)})
+            return
+        self._send_json(200, {"deleted": key, "generation": entry.generation})
+
+    def _ingest_params(self) -> dict:
+        """Parse and validate the ``X-Repro-*`` upload headers (ValueError = 400)."""
+        shape_header = self.headers.get("X-Repro-Shape")
+        dtype_header = self.headers.get("X-Repro-Dtype")
+        bound_header = self.headers.get("X-Repro-Bound")
+        if not shape_header or not dtype_header or not bound_header:
+            raise ValueError(
+                "upload needs X-Repro-Shape, X-Repro-Dtype and X-Repro-Bound "
+                "headers")
+        try:
+            shape = tuple(int(s) for s in shape_header.split(","))
+        except ValueError:
+            raise ValueError(
+                f"corrupt upload body: invalid X-Repro-Shape "
+                f"{shape_header!r}") from None
+        if not shape or any(s <= 0 for s in shape):
+            raise ValueError(
+                f"X-Repro-Shape {shape_header!r} must be positive per-axis "
+                f"extents")
+        try:
+            dtype = np.dtype(dtype_header)
+        except TypeError:
+            raise ValueError(
+                f"corrupt upload body: unknown X-Repro-Dtype "
+                f"{dtype_header!r}") from None
+        mode = self.headers.get("X-Repro-Bound-Mode", "rel")
+        if mode not in MODES:
+            raise ValueError(
+                f"X-Repro-Bound-Mode {mode!r} must be one of {', '.join(MODES)}")
+        try:
+            bound = ErrorBound(mode, float(bound_header))
+        except ValueError as exc:
+            raise ValueError(f"invalid X-Repro-Bound: {exc}") from None
+        data_range = None
+        range_header = self.headers.get("X-Repro-Data-Range")
+        if range_header is not None:
+            try:
+                lo, hi = (float(v) for v in range_header.split(","))
+            except ValueError:
+                raise ValueError(
+                    f"invalid X-Repro-Data-Range {range_header!r} (expected "
+                    f"'min,max')") from None
+            data_range = (lo, hi)
+        chunk_header = self.headers.get("X-Repro-Chunk-Size")
+        try:
+            chunk_size = int(chunk_header) if chunk_header else 0
+        except ValueError:
+            raise ValueError(
+                f"invalid X-Repro-Chunk-Size {chunk_header!r}") from None
+        return {
+            "shape": shape,
+            "dtype": dtype,
+            "bound": bound,
+            "codec": self.headers.get("X-Repro-Codec", "sz21"),
+            "data_range": data_range,
+            "chunk_size": chunk_size if chunk_size > 0 else DEFAULT_CHUNK_ELEMS,
+        }
+
     # ---------------------------------------------------------------- helpers
+    def _manager_or_405(self) -> Optional[IngestManager]:
+        manager = self.server.ingest
+        if manager is None:
+            self._send_json(405, {"error": "this server is read-only; start "
+                                           "repro serve with --root DIR "
+                                           "--writable to enable ingest"},
+                            close=True)
+            return None
+        return manager
+
+    def _authorized(self, key: str) -> bool:
+        """Enforce the manifest's bearer tokens on mutating routes."""
+        required = self.server.ingest.manifest.auth_token(key)
+        if required is None:
+            return True
+        supplied = self.headers.get("Authorization", "").strip()
+        if hmac.compare_digest(supplied, f"Bearer {required}"):
+            return True
+        self._send_json(401, {"error": f"mutating key {key!r} requires a "
+                                       f"bearer token"},
+                        close=True,
+                        extra={"WWW-Authenticate": "Bearer"})
+        return False
+
     def _index_or_404(self, key: str):
         try:
             return self.server.store.info(key)
@@ -148,11 +419,20 @@ class StoreRequestHandler(BaseHTTPRequestHandler):
             self._send_json(503, {"error": str(exc)})
             return None
 
-    def _send_json(self, code: int, obj: dict) -> None:
+    def _send_json(self, code: int, obj: dict, *, close: bool = False,
+                   extra: Optional[dict] = None) -> None:
+        # ``close`` drops the connection after the response: error paths of
+        # the upload routes may leave unread body bytes on the socket, which
+        # would desynchronize keep-alive framing for the next request.
         body = json.dumps(obj, sort_keys=True).encode()
         self.send_response(code)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (extra or {}).items():
+            self.send_header(name, value)
+        if close:
+            self.close_connection = True
+            self.send_header("Connection", "close")
         self.end_headers()
         self.wfile.write(body)
 
@@ -162,15 +442,21 @@ class StoreRequestHandler(BaseHTTPRequestHandler):
 
 
 class StoreHTTPServer(ThreadingHTTPServer):
-    """A threaded HTTP server bound to one :class:`ArchiveStore`."""
+    """A threaded HTTP server bound to one :class:`ArchiveStore`.
+
+    ``ingest`` (an :class:`IngestManager`) enables the mutating routes; with
+    ``None`` the server is read-only and POST/DELETE answer 405.
+    """
 
     daemon_threads = True  # in-flight requests never block process exit
 
     def __init__(self, address: Tuple[str, int], store: ArchiveStore, *,
-                 quiet: bool = True):
+                 quiet: bool = True, ingest: Optional[IngestManager] = None):
         super().__init__(address, StoreRequestHandler)
         self.store = store
         self.quiet = quiet
+        self.ingest = ingest
+        self.metrics = RouteMetrics()
 
     @property
     def url(self) -> str:
@@ -179,12 +465,17 @@ class StoreHTTPServer(ThreadingHTTPServer):
 
 
 def make_server(store: ArchiveStore, host: str = "127.0.0.1", port: int = 0,
-                *, quiet: bool = True) -> StoreHTTPServer:
+                *, quiet: bool = True,
+                ingest: Optional[IngestManager] = None) -> StoreHTTPServer:
     """Bind a :class:`StoreHTTPServer` (``port=0`` picks a free port).
 
     The caller drives it: ``serve_forever()`` inline (what ``repro serve``
     does after printing the bound URL), or on a thread for embedding
     (``threading.Thread(target=server.serve_forever).start()``), and
-    ``shutdown()`` + ``server_close()`` to stop.
+    ``shutdown()`` + ``server_close()`` to stop.  Pass ``ingest=`` to enable
+    the write routes (``POST`` / ``DELETE /v1/<key>``).
     """
-    return StoreHTTPServer((host, port), store, quiet=quiet)
+    return StoreHTTPServer((host, port), store, quiet=quiet, ingest=ingest)
+
+
+install_guards(RouteMetrics, "_lock", ("_routes",))

@@ -133,7 +133,7 @@ class _Entry:
     """
 
     __slots__ = ("key", "handle", "index", "token", "decode_opts",
-                 "_pin_lock", "_pins", "_retired")
+                 "_pin_lock", "_pins", "_retired", "_on_close")
 
     def __init__(self, key: str, handle, index: IndexType, decode_opts: dict):
         self.key = key
@@ -148,6 +148,7 @@ class _Entry:
         self._pin_lock = make_lock("_Entry._pin_lock")
         self._pins = 0  # guarded by: self._pin_lock
         self._retired = False  # guarded by: self._pin_lock
+        self._on_close = None  # guarded by: self._pin_lock
 
     def pin(self) -> None:
         with self._pin_lock:
@@ -159,18 +160,31 @@ class _Entry:
         with self._pin_lock:
             self._pins -= 1
             close_now = self._retired and self._pins == 0
+            callback = self._on_close if close_now else None
         if close_now:
             self.handle.close()
+            if callback is not None:
+                callback()
 
-    def retire(self) -> None:
-        """Mark dead; the handle closes when the last in-flight read unpins."""
+    def retire(self, on_close=None) -> None:
+        """Mark dead; the handle closes when the last in-flight read unpins.
+
+        ``on_close`` runs (at most once) right after the handle actually
+        closes — the ingest layer uses it to unlink a replaced archive file
+        only when no reader can still be positioned inside it.  It runs on
+        whichever thread drops the last pin, so it must be quick and must
+        not raise.
+        """
         with self._pin_lock:
             if self._retired:
                 return
             self._retired = True
+            self._on_close = on_close
             close_now = self._pins == 0
         if close_now:
             self.handle.close()
+            if on_close is not None:
+                on_close()
 
     @property
     def is_v1(self) -> bool:
@@ -229,6 +243,65 @@ class ArchiveStore:
         ``autoencoder`` / ``codec_options`` become the decode context for
         every tile of this archive.  Returns ``key``.
         """
+        entry = self._build_entry(key, source, model, autoencoder,
+                                  codec_options)
+        with self._lock:
+            if self._closed:
+                entry.handle.close()
+                raise ValueError("store is closed")
+            if key in self._entries:
+                entry.handle.close()
+                raise ValueError(f"archive key {key!r} is already registered")
+            self._entries[key] = entry
+        return key
+
+    def replace(self, key: str, source: SourceType, *, model: Any = None,
+                autoencoder: Any = None, codec_options: Optional[dict] = None,
+                on_release=None) -> str:
+        """Atomically swap ``key`` to a new archive (registering it if absent).
+
+        The swap is one registry operation: every read that resolves ``key``
+        before it sees the old archive in full, every read after sees the new
+        one — a reader can never observe a mix, and the key never 404s
+        mid-replace.  In-flight readers of the old archive finish against its
+        still-open handle (pin counts); ``on_release`` fires once that handle
+        actually closes — the ingest layer unlinks the replaced file there.
+        Returns ``key``.
+        """
+        entry = self._build_entry(key, source, model, autoencoder,
+                                  codec_options)
+        with self._lock:
+            if self._closed:
+                entry.handle.close()
+                raise ValueError("store is closed")
+            old = self._entries.get(key)
+            self._entries[key] = entry
+        if old is not None:
+            old.retire(on_close=on_release)
+            self._purge_cached(old)
+        elif on_release is not None:
+            on_release()  # nothing replaced: the release is immediate
+        return key
+
+    def remove(self, key: str, *, on_release=None) -> None:
+        """Deregister ``key``; its handle closes once in-flight reads drain.
+
+        Cached tiles of the removed archive become unreachable (their keys
+        are scoped to the dead entry) and age out of the LRU naturally.
+        ``on_release`` runs right after the handle closes (see
+        :meth:`replace`).
+        """
+        with self._lock:
+            entry = self._entries.pop(key, None)
+        if entry is None:
+            raise KeyError(f"no archive registered under key {key!r}")
+        entry.retire(on_close=on_release)
+        self._purge_cached(entry)
+
+    @staticmethod
+    def _build_entry(key: str, source: SourceType, model, autoencoder,
+                     codec_options) -> _Entry:
+        """Validate the key, open the source and parse its header once."""
         if not isinstance(key, str) or not key:
             raise ValueError(f"archive key must be a non-empty string, got {key!r}")
         if "/" in key:
@@ -244,29 +317,7 @@ class ArchiveStore:
             raise
         decode_opts = {"model": model, "autoencoder": autoencoder,
                        "codec_options": codec_options}
-        entry = _Entry(key, handle, index, decode_opts)
-        with self._lock:
-            if self._closed:
-                handle.close()
-                raise ValueError("store is closed")
-            if key in self._entries:
-                handle.close()
-                raise ValueError(f"archive key {key!r} is already registered")
-            self._entries[key] = entry
-        return key
-
-    def remove(self, key: str) -> None:
-        """Deregister ``key``; its handle closes once in-flight reads drain.
-
-        Cached tiles of the removed archive become unreachable (their keys
-        are scoped to the dead entry) and age out of the LRU naturally.
-        """
-        with self._lock:
-            entry = self._entries.pop(key, None)
-        if entry is None:
-            raise KeyError(f"no archive registered under key {key!r}")
-        entry.retire()
-        self._purge_cached(entry)
+        return _Entry(key, handle, index, decode_opts)
 
     def close(self) -> None:
         """Retire every archive; subsequent reads and adds raise.
@@ -455,6 +506,6 @@ class ArchiveStore:
         return result
 
 
-install_guards(_Entry, "_pin_lock", ("_pins", "_retired"))
+install_guards(_Entry, "_pin_lock", ("_pins", "_retired", "_on_close"))
 install_guards(ArchiveStore, "_lock", ("_entries", "_closed"))
 install_guards(ArchiveStore, "_stats_lock", ("_tile_decodes", "_region_reads"))

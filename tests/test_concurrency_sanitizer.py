@@ -125,6 +125,9 @@ class TestSpecsMatchStaticAnnotations:
 
     def test_store_and_cache_specs_agree(self):
         import repro.store.cache  # noqa: F401  (registers specs on import)
+        import repro.store.ingest  # noqa: F401
+        import repro.store.manifest  # noqa: F401
+        import repro.store.server  # noqa: F401
         import repro.store.store  # noqa: F401
 
         registered = {
@@ -134,10 +137,12 @@ class TestSpecsMatchStaticAnnotations:
             if name.startswith("repro.store.")
         }
         static = {}
-        static.update(self._static_guards("src/repro/store/store.py"))
-        static.update(self._static_guards("src/repro/store/cache.py"))
+        for rel in ("store.py", "cache.py", "manifest.py", "ingest.py",
+                    "server.py"):
+            static.update(self._static_guards(f"src/repro/store/{rel}"))
         assert registered == static
-        assert {"ArchiveStore", "_Entry", "TileCache"} <= set(registered)
+        assert {"ArchiveStore", "_Entry", "TileCache", "StoreManifest",
+                "IngestManager", "RouteMetrics"} <= set(registered)
 
 
 def _run_sanitized(body: str) -> subprocess.CompletedProcess:
