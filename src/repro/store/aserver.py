@@ -1,0 +1,690 @@
+"""Non-blocking ``selectors`` front end for the store HTTP service.
+
+One event-loop thread owns every socket: it accepts connections, parses
+request heads from per-connection buffers, frames bodies, and drains
+response bytes — all non-blocking.  Route work (store reads, ingest) runs on
+a bounded :class:`~concurrent.futures.ThreadPoolExecutor`, calling the same
+transport-agnostic :class:`repro.store.server.StoreApp` the threaded server
+wraps, so routes, status codes and auth are identical across front ends by
+construction.
+
+Why this shape: the threaded fallback burns one OS thread per connection,
+which collapses under hundreds of mostly-idle keep-alive clients.  Here idle
+connections cost one selector registration each; only connections with an
+in-flight request occupy a worker.  The loop enforces what threads cannot:
+
+* **keep-alive by default** (HTTP/1.1 semantics, ``Connection: close``
+  honored, HTTP/1.0 gets close-by-default);
+* **read timeouts** — an idle or stalled connection is dropped by the loop's
+  timeout scan, and a stalled *upload* body times out inside
+  :class:`_BodyChannel` (surfacing as a 400 to the client), so slow clients
+  can never pin a worker forever;
+* **a max-connections guard** — accepts beyond the cap get an immediate
+  best-effort ``503`` and never reach the selector loop's bookkeeping;
+* **backpressure** — a body channel buffering past its high-water mark
+  pauses reads on that connection until the worker catches up.
+
+Threading discipline (this module has exactly three kinds of threads):
+
+* the *loop thread* (whoever calls :meth:`serve_forever`) exclusively owns
+  every ``_Conn``, the selector, and the ``_conns`` / ``_paused`` sets — no
+  locks needed;
+* *worker threads* touch only the :class:`_BodyChannel` (internally locked)
+  and the completion queue (a ``SimpleQueue``), then wake the loop over a
+  socketpair;
+* any thread may call :meth:`shutdown`.
+
+A handler never sees a socket, and the loop never blocks on a body: the
+channel is the only bridge, and dropping a connection feeds the channel EOF
+so a blocked worker always unblocks.
+"""
+
+from __future__ import annotations
+
+import io
+import queue
+import selectors
+import socket
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from http import HTTPStatus
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple, cast
+
+from repro.store.ingest import IngestManager
+from repro.store.server import Request, Response, StoreApp
+from repro.store.store import ArchiveStore
+from repro.utils.concurrency import install_guards, make_lock
+
+__all__ = ["AsyncStoreHTTPServer"]
+
+#: Selector-key sentinels for the listening and wakeup sockets.
+_ACCEPT = object()
+_WAKE = object()
+
+_RECV_BYTES = 1 << 16
+#: A request head larger than this is answered 431 — ours are tiny.
+_MAX_HEADER_BYTES = 1 << 16
+#: Cap on buffered pipelined bytes while a request is in flight.
+_MAX_BUFFERED_BYTES = 1 << 20
+#: Pause reading a connection whose body channel buffers past this.  Must
+#: stay above the largest single ``rfile.read`` the parsers issue (1 MiB
+#: in ``read_sized_stream``) so a paused channel can always satisfy the
+#: blocked read from what it already holds.
+_BODY_HIGH_WATER = 4 << 20
+#: How long a closing connection drains inbound bytes before the real
+#: close, so the client can read the response before any RST.
+_LINGER_SECONDS = 2.0
+
+
+class _BodyChannel:
+    """The blocking body ``rfile`` a worker reads, fed by the event loop.
+
+    Mirrors socket-``makefile`` semantics the body parsers rely on:
+    ``read(n)`` returns exactly ``n`` bytes unless EOF arrives first, and
+    ``readline`` honors its byte limit.  ``timeout`` bounds each blocking
+    wait; expiry raises ``ValueError("corrupt upload body: ...")``, which
+    the app's upload routes answer with a connection-closing 400.
+
+    The loop feeds *every* byte received while the request is in flight —
+    including pipelined follow-up requests; :meth:`take_leftover` hands the
+    unconsumed tail back when the response is queued.
+    """
+
+    def __init__(self, timeout: Optional[float],
+                 on_drain: Callable[[], None]) -> None:
+        self._cond = threading.Condition(
+            cast(threading.Lock, make_lock("_BodyChannel._cond")))
+        self._buf = bytearray()  # guarded by: self._cond
+        self._eof = False  # guarded by: self._cond
+        self._timeout = timeout
+        self._on_drain = on_drain
+
+    # ------------------------------------------------------------- loop side
+    def feed(self, data: bytes) -> None:
+        with self._cond:
+            self._buf += data
+            self._cond.notify_all()
+
+    def feed_eof(self) -> None:
+        with self._cond:
+            self._eof = True
+            self._cond.notify_all()
+
+    def buffered(self) -> int:
+        with self._cond:
+            return len(self._buf)
+
+    def take_leftover(self) -> bytes:
+        """Unconsumed bytes (pipelined requests); also marks EOF so a
+        still-blocked reader can never hang after its response is queued."""
+        with self._cond:
+            self._eof = True
+            data = bytes(self._buf)
+            del self._buf[:]
+            self._cond.notify_all()
+            return data
+
+    # ----------------------------------------------------------- worker side
+    def read(self, n: Optional[int] = -1) -> bytes:
+        if n is None or n < 0:
+            return self._read_all()
+        if n == 0:
+            return b""
+        deadline = self._deadline()
+        with self._cond:
+            while len(self._buf) < n and not self._eof:
+                self._block(deadline)
+            take = min(n, len(self._buf))
+            data = bytes(self._buf[:take])
+            del self._buf[:take]
+        if data:
+            self._on_drain()
+        return data
+
+    def readline(self, limit: int = -1) -> bytes:
+        deadline = self._deadline()
+        with self._cond:
+            while True:
+                idx = self._buf.find(b"\n")
+                if idx >= 0:
+                    end = idx + 1
+                    if 0 <= limit < end:
+                        end = limit
+                    break
+                if 0 <= limit <= len(self._buf):
+                    end = limit
+                    break
+                if self._eof:
+                    end = len(self._buf)
+                    break
+                self._block(deadline)
+            data = bytes(self._buf[:end])
+            del self._buf[:end]
+        if data:
+            self._on_drain()
+        return data
+
+    def _read_all(self) -> bytes:
+        deadline = self._deadline()
+        with self._cond:
+            while not self._eof:
+                self._block(deadline)
+            data = bytes(self._buf)
+            del self._buf[:]
+        if data:
+            self._on_drain()
+        return data
+
+    def _deadline(self) -> Optional[float]:
+        return None if self._timeout is None else time.monotonic() + self._timeout
+
+    def _block(self, deadline: Optional[float]) -> None:
+        """One bounded wait for more bytes.  Must hold ``self._cond``."""
+        if deadline is None:
+            self._cond.wait()
+            return
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            raise ValueError(
+                "corrupt upload body: timed out waiting for request bytes")
+        self._cond.wait(remaining)
+
+
+class _Conn:
+    """Loop-thread-only state of one client connection.
+
+    ``state`` walks ``headers`` (accumulating a request head) ->
+    ``dispatched`` (a worker owns the request; body bytes go to the
+    channel) -> ``writing`` (draining the response) -> back to ``headers``
+    (keep-alive) or ``draining`` (lingering close: write side shut, inbound
+    discarded until EOF or deadline).
+    """
+
+    __slots__ = ("sock", "inbuf", "outbuf", "state", "channel", "close_after",
+                 "last_active", "linger_deadline", "registered", "events")
+
+    def __init__(self, sock: socket.socket) -> None:
+        self.sock: Optional[socket.socket] = sock
+        self.inbuf = bytearray()
+        self.outbuf = bytearray()
+        self.state = "headers"
+        self.channel: Optional[_BodyChannel] = None
+        self.close_after = False
+        self.last_active = time.monotonic()
+        self.linger_deadline = 0.0
+        self.registered = False
+        self.events = 0
+
+
+def _default_workers() -> int:
+    import os
+    return max(4, min(32, os.cpu_count() or 4))
+
+
+class AsyncStoreHTTPServer:
+    """Drop-in alternative to :class:`repro.store.server.StoreHTTPServer`.
+
+    Same constructor shape, same ``url`` / ``store`` / ``ingest`` /
+    ``metrics`` attributes, same ``serve_forever()`` / ``shutdown()`` /
+    ``server_close()`` protocol — ``make_server(..., server="selectors")``
+    is the only intended way to build one.
+    """
+
+    def __init__(self, address: Tuple[str, int], store: ArchiveStore, *,
+                 quiet: bool = True, ingest: Optional[IngestManager] = None,
+                 read_timeout: Optional[float] = None,
+                 max_connections: int = 512,
+                 workers: Optional[int] = None) -> None:
+        self.app = StoreApp(store, ingest=ingest)
+        self.store = store
+        self.ingest = ingest
+        self.quiet = quiet
+        self.metrics = self.app.metrics
+        self.read_timeout = read_timeout
+        self.max_connections = max_connections
+        self._listen = socket.create_server(address, backlog=512)
+        self._listen.setblocking(False)
+        self.server_address: Tuple[str, int] = \
+            self._listen.getsockname()[:2]
+        self._pool = ThreadPoolExecutor(
+            max_workers=workers if workers else _default_workers(),
+            thread_name_prefix="repro-aserve")
+        self._selector = selectors.DefaultSelector()
+        self._selector.register(self._listen, selectors.EVENT_READ, _ACCEPT)
+        self._wake_recv, self._wake_send = socket.socketpair()
+        self._wake_recv.setblocking(False)
+        self._wake_send.setblocking(False)
+        self._selector.register(self._wake_recv, selectors.EVENT_READ, _WAKE)
+        self._completions: "queue.SimpleQueue[Tuple[_Conn, Response]]" = \
+            queue.SimpleQueue()
+        self._conns: Set[_Conn] = set()
+        self._paused: Set[_Conn] = set()
+        self._shutdown_requested = False
+        self._stopped = threading.Event()
+        self._stopped.set()  # not running until serve_forever starts
+        self._last_scan = 0.0
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address
+        return f"http://{host}:{port}"
+
+    # ------------------------------------------------------------- lifecycle
+    def serve_forever(self, poll_interval: float = 0.5) -> None:
+        """Run the event loop on the calling thread until :meth:`shutdown`."""
+        self._stopped.clear()
+        try:
+            while not self._shutdown_requested:
+                try:
+                    events = self._selector.select(poll_interval)
+                except OSError:  # pragma: no cover - closed under our feet
+                    break
+                for key, mask in events:
+                    data = key.data
+                    if data is _ACCEPT:
+                        self._accept()
+                    elif data is _WAKE:
+                        self._drain_wake()
+                    else:
+                        conn = cast(_Conn, data)
+                        if mask & selectors.EVENT_READ:
+                            self._on_readable(conn)
+                        if mask & selectors.EVENT_WRITE \
+                                and conn.sock is not None:
+                            self._flush(conn)
+                self._process_completions()
+                self._resume_paused()
+                self._check_timeouts(time.monotonic())
+        finally:
+            self._stopped.set()
+
+    def shutdown(self) -> None:
+        """Ask the loop to exit and wait for it (safe from any thread)."""
+        self._shutdown_requested = True
+        self._wake()
+        self._stopped.wait(timeout=10.0)
+
+    def server_close(self) -> None:
+        """Release every resource.  Call after :meth:`shutdown`."""
+        self._shutdown_requested = True
+        self._wake()
+        self._stopped.wait(timeout=5.0)
+        for conn in list(self._conns):
+            self._drop(conn)
+        self._pool.shutdown(wait=False)
+        for sock in (self._listen, self._wake_send, self._wake_recv):
+            try:
+                sock.close()
+            except OSError:  # pragma: no cover
+                pass
+        try:
+            self._selector.close()
+        except OSError:  # pragma: no cover
+            pass
+
+    # ----------------------------------------------------------- loop: wakeup
+    def _wake(self) -> None:
+        try:
+            self._wake_send.send(b"\x00")
+        except (BlockingIOError, InterruptedError):
+            pass  # a wake byte is already pending; the loop will run
+        except OSError:
+            pass  # socketpair closed: the server is shutting down
+
+    def _drain_wake(self) -> None:
+        try:
+            while self._wake_recv.recv(4096):
+                pass
+        except (BlockingIOError, InterruptedError):
+            pass
+        except OSError:  # pragma: no cover
+            pass
+
+    # ----------------------------------------------------------- loop: accept
+    def _accept(self) -> None:
+        while True:
+            try:
+                sock, _addr = self._listen.accept()
+            except (BlockingIOError, InterruptedError):
+                return
+            except OSError:  # pragma: no cover - listener closed
+                return
+            if len(self._conns) >= self.max_connections:
+                self._refuse(sock)
+                continue
+            self._adopt(sock)
+
+    def _adopt(self, sock: socket.socket) -> _Conn:
+        sock.setblocking(False)
+        try:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError:  # pragma: no cover - e.g. AF_UNIX
+            pass
+        conn = _Conn(sock)
+        self._conns.add(conn)
+        self._selector.register(sock, selectors.EVENT_READ, conn)
+        conn.registered = True
+        conn.events = selectors.EVENT_READ
+        return conn
+
+    def _refuse(self, sock: socket.socket) -> None:
+        """Best-effort 503 to a connection over the cap, then close."""
+        if len(self._conns) >= self.max_connections * 2:
+            # Under a connect flood even refusals are rationed: plain close.
+            try:
+                sock.close()
+            except OSError:  # pragma: no cover
+                pass
+            return
+        conn = self._adopt(sock)
+        conn.close_after = True
+        self._queue_response(conn, StoreApp._json(
+            503, {"error": f"server is at its {self.max_connections}-"
+                           f"connection limit; retry shortly"}, close=True))
+
+    # ------------------------------------------------------------- loop: read
+    def _on_readable(self, conn: _Conn) -> None:
+        sock = conn.sock
+        if sock is None:
+            return  # stale selector event for a connection dropped this tick
+        try:
+            data = sock.recv(_RECV_BYTES)
+        except (BlockingIOError, InterruptedError):
+            return
+        except OSError:
+            self._drop(conn)
+            return
+        if not data:
+            # Client FIN (or full close).  If a worker is mid-request its
+            # channel gets EOF so it unblocks; its completion is discarded.
+            self._drop(conn)
+            return
+        if conn.state == "draining":
+            return  # lingering close: discard until EOF or deadline
+        conn.last_active = time.monotonic()
+        if conn.channel is not None:
+            conn.channel.feed(data)
+            self._update_events(conn)  # may pause past the high-water mark
+            return
+        conn.inbuf += data
+        if conn.state == "headers":
+            self._try_parse(conn)
+        self._update_events(conn)
+
+    def _try_parse(self, conn: _Conn) -> None:
+        """Parse one request head from ``inbuf`` and dispatch it."""
+        if conn.state != "headers":
+            return
+        buf = conn.inbuf
+        end = buf.find(b"\r\n\r\n")
+        if end < 0:
+            if len(buf) > _MAX_HEADER_BYTES:
+                self._queue_response(conn, StoreApp._json(
+                    431, {"error": "request header section too large"},
+                    close=True))
+            return
+        head = bytes(buf[:end])
+        del buf[:end + 4]
+        lines = head.decode("latin-1").split("\r\n")
+        first = lines[0].split(" ")
+        if len(first) != 3:
+            self._queue_response(conn, StoreApp._json(
+                400, {"error": f"malformed request line {lines[0]!r}"},
+                close=True))
+            return
+        method, target, version = first
+        if not version.startswith("HTTP/1."):
+            self._queue_response(conn, StoreApp._json(
+                505, {"error": f"unsupported protocol {version!r}"},
+                close=True))
+            return
+        headers: Dict[str, str] = {}
+        for raw in lines[1:]:
+            if not raw:
+                continue
+            name, sep, value = raw.partition(":")
+            if not sep:
+                self._queue_response(conn, StoreApp._json(
+                    400, {"error": f"malformed header line {raw!r}"},
+                    close=True))
+                return
+            headers[name.strip().lower()] = value.strip()
+        connection = headers.get("connection", "").lower()
+        conn.close_after = ("close" in connection
+                            or (version == "HTTP/1.0"
+                                and "keep-alive" not in connection))
+        if method not in ("GET", "POST", "DELETE"):
+            self._queue_response(conn, StoreApp._json(
+                501, {"error": f"unsupported method {method!r}"}, close=True))
+            return
+        chunked = "chunked" in headers.get("transfer-encoding", "").lower()
+        try:
+            declared = int(headers.get("content-length", "0"))
+        except ValueError:
+            declared = 0  # the app answers the bad Content-Length with a 400
+        rfile: Any
+        if chunked or declared > 0:
+            channel: Optional[_BodyChannel] = _BodyChannel(
+                self.read_timeout, self._wake)
+            rfile = channel
+        else:
+            channel = None
+            rfile = io.BytesIO(b"")
+        if headers.get("expect", "").lower() == "100-continue":
+            conn.outbuf += b"HTTP/1.1 100 Continue\r\n\r\n"
+        conn.state = "dispatched"
+        conn.channel = channel
+        conn.last_active = time.monotonic()
+        if channel is not None and buf:
+            # Body bytes that arrived glued to the head.
+            channel.feed(bytes(buf))
+            del buf[:]
+        request = Request(method, target, headers, rfile)
+        try:
+            self._pool.submit(self._run_handler, conn, request)
+        except RuntimeError:  # pool shut down: the server is closing
+            self._drop(conn)
+            return
+        if conn.outbuf:
+            self._flush(conn)
+        else:
+            self._update_events(conn)
+
+    # ---------------------------------------------------------- worker thread
+    def _run_handler(self, conn: _Conn, request: Request) -> None:
+        """Worker-pool entry: run the app, queue the completion, wake."""
+        try:
+            response = self.app.handle(request)
+        except Exception as exc:  # noqa: BLE001 - answered as a 500
+            response = StoreApp._json(
+                500, {"error": f"internal error: {exc!r}"}, close=True)
+        self._completions.put((conn, response))
+        # Unconditional wake.  A "skip if a wake byte is already pending"
+        # flag races: the loop can drain a fresh byte together with a stale
+        # one and leave the flag claiming a byte is pending when none is,
+        # stranding completions until the poll timeout.  A non-blocking
+        # send on the socketpair is cheap, and EAGAIN (buffer full) means a
+        # wake is guaranteed pending anyway.
+        self._wake()
+
+    # ----------------------------------------------------- loop: completions
+    def _process_completions(self) -> None:
+        while True:
+            try:
+                conn, response = self._completions.get_nowait()
+            except queue.Empty:
+                return
+            channel = conn.channel
+            conn.channel = None
+            if conn.sock is None:
+                continue  # the connection died while the handler ran
+            if channel is not None:
+                leftover = channel.take_leftover()
+                if leftover:
+                    conn.inbuf[:0] = leftover
+            self._queue_response(conn, response)
+
+    def _queue_response(self, conn: _Conn, response: Response) -> None:
+        if conn.sock is None:
+            return
+        close = response.close or conn.close_after
+        conn.close_after = close
+        if close:
+            del conn.inbuf[:]  # no further requests will be parsed
+        conn.state = "writing"
+        conn.outbuf += self._render(response, close)
+        conn.last_active = time.monotonic()
+        self._flush(conn)
+
+    @staticmethod
+    def _render(response: Response, close: bool) -> bytes:
+        try:
+            phrase = HTTPStatus(response.status).phrase
+        except ValueError:
+            phrase = "Unknown"
+        lines = [f"HTTP/1.1 {response.status} {phrase}",
+                 "Server: repro-aserve/1"]
+        for name, value in response.headers.items():
+            lines.append(f"{name}: {value}")
+        lines.append(f"Content-Length: {len(response.body)}")
+        if close:
+            lines.append("Connection: close")
+        head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+        if response.status == 304:
+            return head
+        return head + response.body
+
+    # ------------------------------------------------------------ loop: write
+    def _flush(self, conn: _Conn) -> None:
+        sock = conn.sock
+        if sock is None:
+            return
+        while conn.outbuf:
+            try:
+                sent = sock.send(conn.outbuf)
+            except (BlockingIOError, InterruptedError):
+                break
+            except OSError:
+                self._drop(conn)
+                return
+            if sent <= 0:  # pragma: no cover - send never returns 0 here
+                break
+            del conn.outbuf[:sent]
+            conn.last_active = time.monotonic()
+        if conn.outbuf or conn.state != "writing":
+            self._update_events(conn)
+            return
+        # Response fully written.
+        if conn.close_after:
+            self._start_linger(conn)
+            return
+        conn.state = "headers"
+        self._update_events(conn)
+        self._try_parse(conn)
+
+    def _start_linger(self, conn: _Conn) -> None:
+        """Shut the write side, then discard inbound until EOF/deadline.
+
+        Closing outright with unread inbound bytes (an aborted upload body,
+        say) sends RST, which can destroy the response sitting in the
+        client's receive buffer.  The drain gives well-behaved clients time
+        to read the response and close first.
+        """
+        sock = conn.sock
+        if sock is None:
+            return
+        try:
+            sock.shutdown(socket.SHUT_WR)
+        except OSError:
+            self._drop(conn)
+            return
+        conn.state = "draining"
+        del conn.inbuf[:]
+        conn.linger_deadline = time.monotonic() + _LINGER_SECONDS
+        self._update_events(conn)
+
+    # ----------------------------------------------------- loop: housekeeping
+    def _read_paused(self, conn: _Conn) -> bool:
+        if conn.state == "draining":
+            return False
+        channel = conn.channel
+        if channel is not None:
+            return channel.buffered() >= _BODY_HIGH_WATER
+        return len(conn.inbuf) >= _MAX_BUFFERED_BYTES
+
+    def _update_events(self, conn: _Conn) -> None:
+        sock = conn.sock
+        if sock is None:
+            return
+        mask = 0
+        if not self._read_paused(conn):
+            mask |= selectors.EVENT_READ
+        if conn.outbuf:
+            mask |= selectors.EVENT_WRITE
+        if mask & selectors.EVENT_READ:
+            self._paused.discard(conn)
+        else:
+            self._paused.add(conn)
+        if mask == 0:
+            if conn.registered:
+                try:
+                    self._selector.unregister(sock)
+                except (KeyError, ValueError):  # pragma: no cover
+                    pass
+                conn.registered = False
+            return
+        if not conn.registered:
+            self._selector.register(sock, mask, conn)
+            conn.registered = True
+            conn.events = mask
+        elif mask != conn.events:
+            self._selector.modify(sock, mask, conn)
+            conn.events = mask
+
+    def _resume_paused(self) -> None:
+        if not self._paused:
+            return
+        for conn in list(self._paused):
+            self._update_events(conn)
+
+    def _check_timeouts(self, now: float) -> None:
+        if now - self._last_scan < 0.25:
+            return
+        self._last_scan = now
+        for conn in list(self._conns):
+            if conn.state == "draining":
+                if now >= conn.linger_deadline:
+                    self._drop(conn)
+            elif (self.read_timeout is not None
+                    and conn.state != "dispatched"
+                    and now - conn.last_active > self.read_timeout):
+                # "dispatched" is excluded: a stalled upload is timed out by
+                # its _BodyChannel (bounded per-read waits), and a long
+                # decode must not be killed under the worker.
+                self._drop(conn)
+
+    def _drop(self, conn: _Conn) -> None:
+        sock = conn.sock
+        if sock is None:
+            return
+        conn.sock = None
+        if conn.registered:
+            try:
+                self._selector.unregister(sock)
+            except (KeyError, ValueError, OSError):  # pragma: no cover
+                pass
+            conn.registered = False
+        self._conns.discard(conn)
+        self._paused.discard(conn)
+        channel = conn.channel
+        conn.channel = None
+        if channel is not None:
+            channel.feed_eof()  # a blocked worker must never hang
+        try:
+            sock.close()
+        except OSError:  # pragma: no cover
+            pass
+
+
+install_guards(_BodyChannel, "_cond", ("_buf", "_eof"))

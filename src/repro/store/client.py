@@ -68,12 +68,31 @@ def _row_slabs(arr: np.ndarray, chunk_bytes: int) -> Iterator[np.ndarray]:
 def _streamed_range(arr: np.ndarray, chunk_bytes: int) -> Tuple[float, float]:
     lo, hi = math.inf, -math.inf
     for slab in _row_slabs(arr, chunk_bytes):
-        lo = min(lo, float(np.min(slab)))
-        hi = max(hi, float(np.max(slab)))
+        slab_lo, slab_hi = float(np.min(slab)), float(np.max(slab))
+        if not (math.isfinite(slab_lo) and math.isfinite(slab_hi)):
+            # Checked per slab: ``min(inf, nan)`` keeps the first argument,
+            # so a NaN could otherwise vanish into the running bounds and
+            # the whole body would stream before the server rejects it.
+            raise ValueError(
+                "cannot derive a rel-bound data range: the source contains "
+                "non-finite values (NaN/Inf); clean the field or pass an "
+                "explicit data_range=")
+        lo = min(lo, slab_lo)
+        hi = max(hi, slab_hi)
+    if not (math.isfinite(lo) and math.isfinite(hi)):  # zero-size source
+        raise ValueError(
+            "cannot derive a rel-bound data range from an empty source; "
+            "pass an explicit data_range=")
     return lo, hi
 
 
-def _connect(url: str, timeout: float):
+def _connect(url: str, timeout: float) -> Tuple[HTTPConnection, str]:
+    """Open a connection to ``url`` and return it with the URL's base path.
+
+    The path component is part of the server address (a reverse proxy may
+    mount the store under a prefix): ``http://host/prefix`` must produce
+    requests against ``/prefix/v1/<key>``, not ``/v1/<key>`` at the root.
+    """
     parts = urlsplit(url)
     if parts.scheme == "https":
         conn: HTTPConnection = HTTPSConnection(parts.hostname,
@@ -84,7 +103,7 @@ def _connect(url: str, timeout: float):
                               timeout=timeout)
     else:
         raise ValueError(f"unsupported server URL {url!r} (need http/https)")
-    return conn
+    return conn, parts.path.rstrip("/")
 
 
 def _finish(conn) -> dict:
@@ -116,6 +135,10 @@ def push_field(url: str, key: str,
     :class:`PushError` on any non-2xx response.
     """
     arr = open_field(source, dims)
+    if arr.ndim == 0:
+        raise ValueError(
+            "cannot push a 0-d source: the server addresses fields by "
+            "per-axis extents; reshape to at least 1-d (e.g. arr.reshape(1))")
     bound = as_bound(bound)
     if bound.mode == MODE_REL and data_range is None:
         data_range = _streamed_range(arr, chunk_bytes)
@@ -132,11 +155,11 @@ def push_field(url: str, key: str,
         headers["Authorization"] = f"Bearer {token}"
     body = (np.ascontiguousarray(slab).tobytes()
             for slab in _row_slabs(arr, chunk_bytes))
-    conn = _connect(url, timeout)
+    conn, base = _connect(url, timeout)
     try:
         try:
-            conn.request("POST", f"/v1/{quote(key, safe='')}", body=body,
-                         headers=headers, encode_chunked=True)
+            conn.request("POST", f"{base}/v1/{quote(key, safe='')}",
+                         body=body, headers=headers, encode_chunked=True)
         except (BrokenPipeError, ConnectionResetError):
             # The server refused early (401/405/413/...) and closed its end
             # while the body was still streaming; the response is already on
@@ -153,9 +176,10 @@ def delete_key(url: str, key: str, *, token: Optional[str] = None,
     headers = {}
     if token is not None:
         headers["Authorization"] = f"Bearer {token}"
-    conn = _connect(url, timeout)
+    conn, base = _connect(url, timeout)
     try:
-        conn.request("DELETE", f"/v1/{quote(key, safe='')}", headers=headers)
+        conn.request("DELETE", f"{base}/v1/{quote(key, safe='')}",
+                     headers=headers)
         return _finish(conn)
     finally:
         conn.close()

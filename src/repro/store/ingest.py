@@ -281,7 +281,8 @@ class IngestManager:
         for key, entry in sorted(self.manifest.entries().items()):
             path = self.manifest.archive_path(entry)
             try:
-                self.store.add(key, os.fspath(path), model=self.model)
+                self.store.add(key, os.fspath(path), model=self.model,
+                               generation=entry.generation)
             except (OSError, ValueError) as exc:
                 skipped.append((key, str(exc)))
         return skipped
@@ -376,7 +377,8 @@ class IngestManager:
         # when that handle actually closes.
         old_path = None if old is None else self.manifest.archive_path(old)
         self.store.replace(key, os.fspath(final), model=self.model,
-                           on_release=_unlinker(old_path))
+                           on_release=_unlinker(old_path),
+                           generation=entry.generation)
         return entry
 
     def delete(self, key: str) -> ManifestEntry:

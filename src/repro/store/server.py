@@ -1,10 +1,18 @@
 """Stdlib-only HTTP service over an :class:`ArchiveStore` — reads and ingest.
 
-One thread per request (``ThreadingHTTPServer``) on top of the store's
-thread-safe cached read path — the serving shape the paper's amortized
-workflow wants: one long-lived process holding the parsed headers and the
-decoded-tile cache, many concurrent clients pulling regions, and (on a
-writable node) pushing new fields in.
+The routing/validation/response logic lives in one transport-agnostic
+:class:`StoreApp` (plain :class:`Request` in, :class:`Response` out), shared
+by two front ends:
+
+* the threaded server in this module (``ThreadingHTTPServer``, one thread
+  per connection) — the simple, battle-tested fallback;
+* the ``selectors``-based non-blocking front end in
+  :mod:`repro.store.aserver` — persistent keep-alive connections multiplexed
+  on one event loop, decode work on a bounded worker pool; the shape
+  ``repro serve`` uses by default for many-clients-one-process traffic.
+
+Because both speak through the same :class:`StoreApp`, every route, status
+code and auth behavior is identical across them by construction.
 
 Read routes (GET):
 
@@ -13,15 +21,33 @@ Read routes (GET):
 ``/metrics``
     Operational counters as JSON: the :class:`TileCache` hit/miss/load/
     eviction counters, ``tile_decodes``/``region_reads``, and per-route
-    request counts, error counts and latency sums.
+    request counts, error counts, latency sums and latency histograms with
+    estimated ``p50_ms``/``p99_ms``.
 ``/v1/<key>/info``
     The archive's header as JSON: codec, shape, dtype, bound, envelope
-    version and (for chunked/grid archives) the tile geometry.
+    version, generation and (for chunked/grid archives) the tile geometry.
 ``/v1/<key>/region?r=10:20,0:64,5:9``
     The decoded region as raw bytes (C order), described by response
     headers: ``X-Repro-Shape`` / ``X-Repro-Dtype`` plus ``X-Repro-Header``,
-    a JSON object carrying both and the normalized region.  Reconstruct with
+    a JSON object carrying both, the normalized region and the serving
+    entry's generation.  Reconstruct with
     ``numpy.frombuffer(body, dtype).reshape(shape)``.
+
+Batched reads (POST, no auth — it is a read):
+
+``POST /v1/<key>/regions``
+    Body: a small JSON document ``{"regions": ["10:20,:", "0:4,0:4", ...]}``
+    (or a bare JSON list), sized by ``Content-Length``.  One response body
+    carries every region's raw bytes back to back; ``X-Repro-Header`` is a
+    JSON object with per-region ``{region, shape, dtype, offset, nbytes}``
+    entries (in request order) against one generation/ETag — the batch rides
+    :meth:`ArchiveStore.read_regions`' deduped tile fetches.
+
+Conditional GET: ``/v1/<key>/info`` and ``/v1/<key>/region`` responses carry
+a strong ``ETag`` derived from the archive's content tokens (per-tile
+CRC-32s); requests with a matching ``If-None-Match`` get ``304 Not
+Modified`` with no body.  A replace flips the tag, so a cached region can
+never survive a content change.
 
 Write routes (enabled by passing an :class:`IngestManager` — the CLI's
 ``repro serve --root DIR --writable``):
@@ -46,21 +72,26 @@ Errors are JSON bodies ``{"error": ...}``: 400 for malformed requests or
 upload bodies, 404 for unknown keys/routes, 405 for writes to a read-only
 server, 500 for decode/verify failures (e.g. a corrupt tile).  A 500 is
 scoped to the affected request — failed decodes are never cached, so other
-regions (and retries) keep serving.
+regions (and retries) keep serving.  Response metadata for a region is
+derived from the entry the bytes were *actually* decoded from (one atomic
+store lookup), so headers can never contradict the body across a concurrent
+replace.
 """
 
 from __future__ import annotations
 
 import hmac
 import json
+import math
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Dict, Optional, Tuple
+from typing import (TYPE_CHECKING, Callable, Dict, List, Optional, Tuple,
+                    Union)
 from urllib.parse import parse_qs, unquote, urlparse
 
 import numpy as np
 
-from repro.api import DEFAULT_CHUNK_ELEMS, normalize_region, parse_region
+from repro.api import DEFAULT_CHUNK_ELEMS
 from repro.bounds import ErrorBound, MODES
 from repro.store.ingest import (
     IngestConflictError,
@@ -72,212 +103,398 @@ from repro.store.ingest import (
     read_row_blocks,
     read_sized_stream,
 )
-from repro.store.store import ArchiveStore
+from repro.store.store import ArchiveStore, ReadInfo, RegionSpecError
 from repro.utils.concurrency import install_guards, make_lock
+
+if TYPE_CHECKING:  # the async front end; imported lazily at runtime
+    from repro.store.aserver import AsyncStoreHTTPServer
+
+#: Upper bounds (milliseconds) of the per-route latency histogram buckets.
+#: Log-spaced from sub-millisecond cache hits to multi-second cold decodes;
+#: the last bucket catches everything beyond.
+LATENCY_BUCKETS_MS: Tuple[float, ...] = (
+    0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0,
+    1024.0, 2048.0, 4096.0, math.inf)
+
+
+def _quantile_ms(buckets: List[int], total: int, q: float) -> float:
+    """The upper bound of the bucket containing the ``q``-quantile sample."""
+    if total <= 0:
+        return 0.0
+    target = max(1, math.ceil(q * total))
+    cum = 0
+    for bound, count in zip(LATENCY_BUCKETS_MS, buckets):
+        cum += count
+        if cum >= target:
+            # The overflow bucket has no finite bound; report one past the
+            # largest finite edge so the estimate stays a number.
+            return bound if math.isfinite(bound) else LATENCY_BUCKETS_MS[-2] * 2
+    return LATENCY_BUCKETS_MS[-2] * 2
 
 
 class RouteMetrics:
-    """Thread-safe per-route request counters + latency sums for ``/metrics``."""
+    """Thread-safe per-route request counters + latency histograms."""
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._lock = make_lock("RouteMetrics._lock")
         self._routes: Dict[str, dict] = {}  # guarded by: self._lock
 
     def record(self, route: str, status: int, seconds: float) -> None:
+        ms = seconds * 1000.0
         with self._lock:
             row = self._routes.setdefault(
-                route, {"requests": 0, "errors": 0, "seconds": 0.0})
+                route, {"requests": 0, "errors": 0, "seconds": 0.0,
+                        "buckets": [0] * len(LATENCY_BUCKETS_MS)})
             row["requests"] += 1
             if status >= 400 or status == 0:
                 row["errors"] += 1
             row["seconds"] += seconds
+            for i, bound in enumerate(LATENCY_BUCKETS_MS):
+                if ms <= bound:
+                    row["buckets"][i] += 1
+                    break
 
     def snapshot(self) -> Dict[str, dict]:
+        """Per-route counters plus estimated p50/p99 (bucket upper bounds)."""
         with self._lock:
-            return {route: dict(row) for route, row in self._routes.items()}
+            rows = {route: {"requests": row["requests"],
+                            "errors": row["errors"],
+                            "seconds": row["seconds"],
+                            "buckets": list(row["buckets"])}
+                    for route, row in self._routes.items()}
+        for row in rows.values():
+            total = sum(row["buckets"])
+            row["p50_ms"] = _quantile_ms(row["buckets"], total, 0.50)
+            row["p99_ms"] = _quantile_ms(row["buckets"], total, 0.99)
+        return rows
 
 
-class StoreRequestHandler(BaseHTTPRequestHandler):
-    """Routes one request into the server's :class:`ArchiveStore`."""
+# ---------------------------------------------------------------------------
+# Transport-agnostic request/response + the app
+# ---------------------------------------------------------------------------
 
-    server: "StoreHTTPServer"  # narrowed from BaseServer: set by the server
+class Request:
+    """One parsed HTTP request, independent of the transport that read it.
 
-    server_version = "repro-serve/2"
-    protocol_version = "HTTP/1.1"  # keep-alive; every response sets Content-Length
+    ``headers`` maps lower-cased names to values; ``rfile`` is a blocking
+    file-like positioned at the first body byte (the threaded server hands
+    the socket's rfile, the async server a body channel fed by its event
+    loop).  Handlers that consume a body read exactly the framed bytes on
+    success; error paths answer with ``close=True`` so unread bytes can
+    never desynchronize keep-alive framing.
+    """
 
-    _last_status = 0  # the code of the last send_response on this connection
+    __slots__ = ("method", "target", "headers", "rfile")
 
-    def send_response(self, code, message=None) -> None:
-        self._last_status = code
-        super().send_response(code, message)
+    def __init__(self, method: str, target: str, headers: Dict[str, str],
+                 rfile) -> None:
+        self.method = method
+        self.target = target
+        self.headers = headers
+        self.rfile = rfile
 
-    # ----------------------------------------------------------------- routes
-    def do_GET(self) -> None:  # noqa: N802 (http.server naming)
-        self._dispatch("GET")
+    def header(self, name: str, default: Optional[str] = None
+               ) -> Optional[str]:
+        return self.headers.get(name.lower(), default)
 
-    def do_POST(self) -> None:  # noqa: N802
-        self._dispatch("POST")
 
-    def do_DELETE(self) -> None:  # noqa: N802
-        self._dispatch("DELETE")
+class Response:
+    """What a route handler produced: status, headers, one in-memory body."""
 
-    def _dispatch(self, method: str) -> None:
+    __slots__ = ("status", "body", "headers", "close")
+
+    def __init__(self, status: int, body: bytes = b"", *,
+                 headers: Optional[Dict[str, str]] = None,
+                 close: bool = False) -> None:
+        self.status = status
+        self.body = body
+        self.headers = headers if headers is not None else {}
+        self.close = close
+
+
+def _etag_matches(header_value: str, etag: str) -> bool:
+    """RFC 7232 ``If-None-Match`` evaluation against one strong tag."""
+    if header_value.strip() == "*":
+        return True
+    for candidate in header_value.split(","):
+        candidate = candidate.strip()
+        if candidate.startswith("W/"):
+            candidate = candidate[2:]
+        if candidate == etag:
+            return True
+    return False
+
+
+class StoreApp:
+    """Routes requests into an :class:`ArchiveStore` (+ optional ingest).
+
+    Pure request -> response logic: no sockets, no threads, no framing.
+    Every front end (threaded, selectors) wraps this one object, which is
+    what makes their route/status/auth behavior identical.  ``handle`` is
+    thread-safe (the store, manager and metrics all are) and may be called
+    from any number of worker threads at once.
+    """
+
+    #: Cap on a ``POST /v1/<key>/regions`` JSON body — region lists are tiny;
+    #: anything larger is a malformed request, not a batch.
+    REGIONS_BODY_LIMIT = 1 << 20
+    #: Cap on the number of regions per batch.
+    REGIONS_MAX_COUNT = 1024
+
+    def __init__(self, store: ArchiveStore, *,
+                 ingest: Optional[IngestManager] = None) -> None:
+        self.store = store
+        self.ingest = ingest
+        self.metrics = RouteMetrics()
+
+    # ------------------------------------------------------------ entry point
+    def handle(self, request: Request) -> Response:
         start = time.perf_counter()
         route = "other"
-        self._last_status = 0
+        status = 0
         try:
-            parsed = urlparse(self.path)
+            parsed = urlparse(request.target)
             parts = [unquote(p) for p in parsed.path.split("/") if p]
-            route, handler = self._resolve(method, parts, parsed)
-            handler()
-        except (BrokenPipeError, ConnectionResetError):  # pragma: no cover
-            pass  # client went away mid-response; nothing to salvage
+            route, thunk = self._resolve(request, parts, parsed)
+            response = thunk()
+            status = response.status
+            return response
         finally:
-            self.server.metrics.record(route, self._last_status,
-                                       time.perf_counter() - start)
+            self.metrics.record(route, status, time.perf_counter() - start)
 
-    def _resolve(self, method: str, parts, parsed) -> Tuple[str, object]:
+    def _resolve(self, request: Request, parts: List[str], parsed
+                 ) -> Tuple[str, Callable[[], Response]]:
         """Map (method, path) to a (metrics route name, handler thunk)."""
+        method = request.method
         if method == "GET":
             if parts == ["healthz"]:
                 return "healthz", self._healthz
             if parts == ["metrics"]:
                 return "metrics", self._metrics
             if len(parts) == 3 and parts[0] == "v1" and parts[2] == "info":
-                return "info", lambda: self._info(parts[1])
+                return "info", lambda: self._info(request, parts[1])
             if len(parts) == 3 and parts[0] == "v1" and parts[2] == "region":
-                return "region", lambda: self._region(parts[1],
-                                                      parse_qs(parsed.query))
+                return "region", lambda: self._region(
+                    request, parts[1], parse_qs(parsed.query))
+        elif method == "POST" and len(parts) == 3 and parts[0] == "v1" \
+                and parts[2] == "regions":
+            return "regions", lambda: self._regions(request, parts[1])
         elif len(parts) == 2 and parts[0] == "v1":
             if method == "POST":
-                return "ingest", lambda: self._ingest(parts[1])
+                return "ingest", lambda: self._ingest(request, parts[1])
             if method == "DELETE":
-                return "delete", lambda: self._delete(parts[1])
-        return "other", lambda: self._send_json(
+                return "delete", lambda: self._delete(request, parts[1])
+        return "other", lambda: self._json(
             404, {"error": f"no {method} route for {parsed.path!r}"})
 
     # ------------------------------------------------------------- GET routes
-    def _healthz(self) -> None:
-        self._send_json(200, {"status": "ok",
-                              "archives": list(self.server.store.keys()),
-                              "stats": self.server.store.stats()})
+    def _healthz(self) -> Response:
+        return self._json(200, {"status": "ok",
+                                "archives": list(self.store.keys()),
+                                "stats": self.store.stats()})
 
-    def _metrics(self) -> None:
-        stats = self.server.store.stats()
-        self._send_json(200, {
+    def _metrics(self) -> Response:
+        stats = self.store.stats()
+        return self._json(200, {
             "cache": {k: stats[k] for k in ("entries", "nbytes", "max_bytes",
                                             "hits", "misses", "loads",
                                             "evictions")},
             "tile_decodes": stats["tile_decodes"],
             "region_reads": stats["region_reads"],
             "archives": stats["archives"],
-            "routes": self.server.metrics.snapshot(),
-            "writable": self.server.ingest is not None,
+            "routes": self.metrics.snapshot(),
+            "writable": self.ingest is not None,
         })
 
-    def _info(self, key: str) -> None:
-        index = self._index_or_404(key)
-        if index is None:
-            return
-        info = {
+    def _info(self, request: Request, key: str) -> Response:
+        try:
+            info = self.store.entry_info(key)
+        except KeyError as exc:
+            return self._json(404, {"error": str(exc)})
+        except ValueError as exc:
+            # "store is closed": a request raced the shutdown path.  Answer
+            # it cleanly instead of dying with a traceback mid-connection.
+            return self._json(503, {"error": str(exc)})
+        not_modified = self._not_modified(request, info)
+        if not_modified is not None:
+            return not_modified
+        index = info.index
+        doc = {
             "key": key,
             "codec": index.codec,
             "shape": list(index.shape),
             "dtype": index.dtype,
             "bound": {"mode": index.bound_mode, "value": index.bound_value},
             "version": index.version,
+            "generation": info.generation,
         }
         if hasattr(index, "grid_shape"):  # v3 N-d grid
-            info["chunk_shape"] = list(index.chunk_shape)
-            info["grid_shape"] = list(index.grid_shape)
-            info["n_tiles"] = index.n_tiles
+            doc["chunk_shape"] = list(index.chunk_shape)
+            doc["grid_shape"] = list(index.grid_shape)
+            doc["n_tiles"] = index.n_tiles
         elif hasattr(index, "n_chunks"):  # v2 axis-0 slabs
-            info["axis"] = index.axis
-            info["n_tiles"] = index.n_chunks
+            doc["axis"] = index.axis
+            doc["n_tiles"] = index.n_chunks
         else:
-            info["n_tiles"] = 1
-        self._send_json(200, info)
+            doc["n_tiles"] = 1
+        return self._json(200, doc, extra=self._entity_headers(info))
 
-    def _region(self, key: str, query: dict) -> None:
+    def _region(self, request: Request, key: str, query: dict) -> Response:
         spec = (query.get("r") or query.get("region") or [None])[0]
         if spec is None:
-            self._send_json(400, {"error": "missing r= query parameter "
-                                           "(e.g. ?r=10:20,0:64,5:9)"})
-            return
-        index = self._index_or_404(key)
-        if index is None:
-            return
+            return self._json(400, {"error": "missing r= query parameter "
+                                             "(e.g. ?r=10:20,0:64,5:9)"})
+        not_modified = self._check_conditional(request, key)
+        if not_modified is not None:
+            return not_modified
         try:
-            region = parse_region(spec)
-            bounds = normalize_region(region, index.shape)
-        except ValueError as exc:  # the client's region is at fault: 4xx
-            self._send_json(400, {"error": str(exc)})
-            return
-        try:
-            arr = self.server.store.read_region(key, region)
+            arr, info = self.store.read_region_with_info(key, spec)
+        except RegionSpecError as exc:
+            # The client's region is at fault (syntax, rank, negative or
+            # reversed bounds against this entry's shape): 4xx.
+            return self._json(400, {"error": str(exc)})
         except KeyError as exc:
-            # The key vanished between the info lookup and the read (a
-            # concurrent remove): same outcome as never having existed.
-            self._send_json(404, {"error": str(exc)})
-            return
-        except (ValueError, OSError) as exc:
-            # The archive (not the request) is at fault — corrupt tile bytes,
-            # shape mismatch after decode, I/O failure.  Nothing was cached,
-            # so other regions of this archive keep serving and retries
-            # re-attempt.
-            self._send_json(500, {"error": str(exc)})
-            return
+            return self._json(404, {"error": str(exc)})
+        except ValueError as exc:
+            # "store is closed" races the shutdown path (503); everything
+            # else is the archive's fault — corrupt tile bytes, shape
+            # mismatch after decode (500).  Nothing was cached, so other
+            # regions of this archive keep serving and retries re-attempt.
+            code = 503 if "store is closed" in str(exc) else 500
+            return self._json(code, {"error": str(exc)})
+        except OSError as exc:
+            return self._json(500, {"error": str(exc)})
         body = np.ascontiguousarray(arr).tobytes()
         meta = {
             "key": key,
-            "region": [[b0, b1] for b0, b1 in bounds],
+            "region": [[b0, b1] for b0, b1 in info.bounds],
             "shape": list(arr.shape),
             "dtype": str(arr.dtype),
             "order": "C",
+            "generation": info.generation,
         }
-        self.send_response(200)
-        self.send_header("Content-Type", "application/octet-stream")
-        self.send_header("Content-Length", str(len(body)))
-        self.send_header("X-Repro-Shape", ",".join(str(s) for s in arr.shape))
-        self.send_header("X-Repro-Dtype", str(arr.dtype))
-        self.send_header("X-Repro-Header", json.dumps(meta, sort_keys=True))
-        self.end_headers()
-        self.wfile.write(body)
+        headers = {
+            "Content-Type": "application/octet-stream",
+            "X-Repro-Shape": ",".join(str(s) for s in arr.shape),
+            "X-Repro-Dtype": str(arr.dtype),
+            "X-Repro-Header": json.dumps(meta, sort_keys=True),
+        }
+        headers.update(self._entity_headers(info))
+        return Response(200, body, headers=headers)
+
+    def _regions(self, request: Request, key: str) -> Response:
+        """Batched region reads: JSON spec list in, concatenated bytes out."""
+        length_header = request.header("content-length")
+        if length_header is None:
+            return self._json(411, {"error": "batched regions need "
+                                             "Content-Length (a JSON body of "
+                                             "region specs)"}, close=True)
+        try:
+            length = int(length_header)
+        except ValueError:
+            return self._json(400, {"error": f"corrupt batch body: invalid "
+                                             f"Content-Length "
+                                             f"{length_header!r}"}, close=True)
+        if length < 0 or length > self.REGIONS_BODY_LIMIT:
+            return self._json(413, {"error": f"batch body of {length} bytes "
+                                             f"exceeds the "
+                                             f"{self.REGIONS_BODY_LIMIT}-byte "
+                                             f"limit"}, close=True)
+        try:
+            raw = b"".join(read_sized_stream(request.rfile, length))
+        except ValueError as exc:
+            return self._json(400, {"error": str(exc)}, close=True)
+        # From here the framed body is fully consumed: keep-alive is safe.
+        try:
+            doc = json.loads(raw) if raw else None
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            return self._json(400, {"error": f"corrupt batch body: invalid "
+                                             f"JSON ({exc})"})
+        specs = doc.get("regions") if isinstance(doc, dict) else doc
+        if (not isinstance(specs, list) or not specs
+                or not all(isinstance(s, str) for s in specs)):
+            return self._json(400, {"error": 'batch body must be '
+                                             '{"regions": ["10:20,:", ...]} '
+                                             'or a JSON list of region spec '
+                                             'strings'})
+        if len(specs) > self.REGIONS_MAX_COUNT:
+            return self._json(400, {"error": f"batch of {len(specs)} regions "
+                                             f"exceeds the "
+                                             f"{self.REGIONS_MAX_COUNT}-"
+                                             f"region limit"})
+        try:
+            arrays, infos = self.store.read_regions_with_info(key, specs)
+        except RegionSpecError as exc:
+            return self._json(400, {"error": str(exc)})
+        except KeyError as exc:
+            return self._json(404, {"error": str(exc)})
+        except ValueError as exc:
+            code = 503 if "store is closed" in str(exc) else 500
+            return self._json(code, {"error": str(exc)})
+        except OSError as exc:
+            return self._json(500, {"error": str(exc)})
+        parts = [np.ascontiguousarray(a).tobytes() for a in arrays]
+        regions_meta = []
+        offset = 0
+        for arr, part, info in zip(arrays, parts, infos):
+            regions_meta.append({
+                "region": [[b0, b1] for b0, b1 in info.bounds],
+                "shape": list(arr.shape),
+                "dtype": str(arr.dtype),
+                "offset": offset,
+                "nbytes": len(part),
+            })
+            offset += len(part)
+        generation = infos[0].generation
+        meta = {
+            "key": key,
+            "count": len(parts),
+            "order": "C",
+            "generation": generation,
+            "regions": regions_meta,
+        }
+        headers = {
+            "Content-Type": "application/octet-stream",
+            "X-Repro-Count": str(len(parts)),
+            "X-Repro-Header": json.dumps(meta, sort_keys=True),
+        }
+        headers.update(self._entity_headers(infos[0]))
+        return Response(200, b"".join(parts), headers=headers)
 
     # ----------------------------------------------------------- write routes
-    def _ingest(self, key: str) -> None:
-        manager = self._manager_or_405()
-        if manager is None or not self._authorized(key):
-            return
+    def _ingest(self, request: Request, key: str) -> Response:
+        manager = self.ingest
+        if manager is None:
+            return self._read_only_response()
+        denied = self._auth_failure(manager, request, key)
+        if denied is not None:
+            return denied
         try:
-            params = self._ingest_params()
+            params = self._ingest_params(request)
         except ValueError as exc:
-            self._send_json(400, {"error": str(exc)}, close=True)
-            return
+            return self._json(400, {"error": str(exc)}, close=True)
         quota = manager.quota_bytes
-        length = self.headers.get("Content-Length")
-        te = self.headers.get("Transfer-Encoding", "")
+        length = request.header("content-length")
+        te = request.header("transfer-encoding", "") or ""
         if "chunked" in te.lower():
-            chunks = read_chunked_stream(self.rfile)
+            chunks = read_chunked_stream(request.rfile)
         elif length is not None:
             try:
                 body_bytes = int(length)
             except ValueError:
-                self._send_json(400, {"error": f"corrupt upload body: invalid "
-                                               f"Content-Length {length!r}"},
-                                close=True)
-                return
+                return self._json(400, {"error": f"corrupt upload body: "
+                                                 f"invalid Content-Length "
+                                                 f"{length!r}"}, close=True)
             if quota is not None and body_bytes > quota:
-                self._send_json(413, {"error": f"upload of {body_bytes} bytes "
-                                               f"exceeds the per-key quota of "
-                                               f"{quota} bytes"}, close=True)
-                return
-            chunks = read_sized_stream(self.rfile, body_bytes)
+                return self._json(413, {"error": f"upload of {body_bytes} "
+                                                 f"bytes exceeds the per-key "
+                                                 f"quota of {quota} bytes"},
+                                  close=True)
+            chunks = read_sized_stream(request.rfile, body_bytes)
         else:
-            self._send_json(411, {"error": "upload needs Content-Length or "
-                                           "Transfer-Encoding: chunked"},
-                            close=True)
-            return
+            return self._json(411, {"error": "upload needs Content-Length or "
+                                             "Transfer-Encoding: chunked"},
+                              close=True)
         created = manager.manifest.get(key) is None
         blocks = read_row_blocks(limit_stream(chunks, quota, key),
                                  params["shape"], params["dtype"])
@@ -287,20 +504,16 @@ class StoreRequestHandler(BaseHTTPRequestHandler):
                                    chunk_size=params["chunk_size"],
                                    data_range=params["data_range"])
         except IngestConflictError as exc:
-            self._send_json(409, {"error": str(exc)}, close=True)
-            return
+            return self._json(409, {"error": str(exc)}, close=True)
         except IngestQuotaError as exc:
-            self._send_json(413, {"error": str(exc)}, close=True)
-            return
+            return self._json(413, {"error": str(exc)}, close=True)
         except ValueError as exc:
             # Caller-side faults: malformed body framing/row count, unknown
             # codec, bad bound, rel bound without a data range.
-            self._send_json(400, {"error": str(exc)}, close=True)
-            return
+            return self._json(400, {"error": str(exc)}, close=True)
         except (IngestVerifyError, OSError) as exc:
-            self._send_json(500, {"error": str(exc)}, close=True)
-            return
-        self._send_json(201 if created else 200, {
+            return self._json(500, {"error": str(exc)}, close=True)
+        return self._json(201 if created else 200, {
             "key": key,
             "created": created,
             "generation": entry.generation,
@@ -313,22 +526,26 @@ class StoreRequestHandler(BaseHTTPRequestHandler):
             "path": entry.path,
         })
 
-    def _delete(self, key: str) -> None:
-        manager = self._manager_or_405()
-        if manager is None or not self._authorized(key):
-            return
+    def _delete(self, request: Request, key: str) -> Response:
+        manager = self.ingest
+        if manager is None:
+            return self._read_only_response()
+        denied = self._auth_failure(manager, request, key)
+        if denied is not None:
+            return denied
         try:
             entry = manager.delete(key)
         except KeyError as exc:
-            self._send_json(404, {"error": str(exc)})
-            return
-        self._send_json(200, {"deleted": key, "generation": entry.generation})
+            return self._json(404, {"error": str(exc)})
+        return self._json(200, {"deleted": key,
+                                "generation": entry.generation})
 
-    def _ingest_params(self) -> dict:
+    @staticmethod
+    def _ingest_params(request: Request) -> dict:
         """Parse and validate the ``X-Repro-*`` upload headers (ValueError = 400)."""
-        shape_header = self.headers.get("X-Repro-Shape")
-        dtype_header = self.headers.get("X-Repro-Dtype")
-        bound_header = self.headers.get("X-Repro-Bound")
+        shape_header = request.header("x-repro-shape")
+        dtype_header = request.header("x-repro-dtype")
+        bound_header = request.header("x-repro-bound")
         if not shape_header or not dtype_header or not bound_header:
             raise ValueError(
                 "upload needs X-Repro-Shape, X-Repro-Dtype and X-Repro-Bound "
@@ -349,7 +566,7 @@ class StoreRequestHandler(BaseHTTPRequestHandler):
             raise ValueError(
                 f"corrupt upload body: unknown X-Repro-Dtype "
                 f"{dtype_header!r}") from None
-        mode = self.headers.get("X-Repro-Bound-Mode", "rel")
+        mode = request.header("x-repro-bound-mode", "rel")
         if mode not in MODES:
             raise ValueError(
                 f"X-Repro-Bound-Mode {mode!r} must be one of {', '.join(MODES)}")
@@ -358,7 +575,7 @@ class StoreRequestHandler(BaseHTTPRequestHandler):
         except ValueError as exc:
             raise ValueError(f"invalid X-Repro-Bound: {exc}") from None
         data_range = None
-        range_header = self.headers.get("X-Repro-Data-Range")
+        range_header = request.header("x-repro-data-range")
         if range_header is not None:
             try:
                 lo, hi = (float(v) for v in range_header.split(","))
@@ -367,7 +584,7 @@ class StoreRequestHandler(BaseHTTPRequestHandler):
                     f"invalid X-Repro-Data-Range {range_header!r} (expected "
                     f"'min,max')") from None
             data_range = (lo, hi)
-        chunk_header = self.headers.get("X-Repro-Chunk-Size")
+        chunk_header = request.header("x-repro-chunk-size")
         try:
             chunk_size = int(chunk_header) if chunk_header else 0
         except ValueError:
@@ -377,64 +594,130 @@ class StoreRequestHandler(BaseHTTPRequestHandler):
             "shape": shape,
             "dtype": dtype,
             "bound": bound,
-            "codec": self.headers.get("X-Repro-Codec", "sz21"),
+            "codec": request.header("x-repro-codec", "sz21"),
             "data_range": data_range,
             "chunk_size": chunk_size if chunk_size > 0 else DEFAULT_CHUNK_ELEMS,
         }
 
     # ---------------------------------------------------------------- helpers
-    def _manager_or_405(self) -> Optional[IngestManager]:
-        manager = self.server.ingest
-        if manager is None:
-            self._send_json(405, {"error": "this server is read-only; start "
-                                           "repro serve with --root DIR "
-                                           "--writable to enable ingest"},
-                            close=True)
+    def _check_conditional(self, request: Request, key: str
+                           ) -> Optional[Response]:
+        """A 304 (or error) for a conditional GET, ``None`` to proceed.
+
+        Runs *before* the decode so a fresh client cache skips the region
+        work entirely; the fresh/stale decision is made against one atomic
+        entry snapshot.
+        """
+        inm = request.header("if-none-match")
+        if inm is None:
             return None
-        return manager
-
-    def _authorized(self, key: str) -> bool:
-        """Enforce the manifest's bearer tokens on mutating routes."""
-        required = self.server.ingest.manifest.auth_token(key)
-        if required is None:
-            return True
-        supplied = self.headers.get("Authorization", "").strip()
-        if hmac.compare_digest(supplied, f"Bearer {required}"):
-            return True
-        self._send_json(401, {"error": f"mutating key {key!r} requires a "
-                                       f"bearer token"},
-                        close=True,
-                        extra={"WWW-Authenticate": "Bearer"})
-        return False
-
-    def _index_or_404(self, key: str):
         try:
-            return self.server.store.info(key)
+            info = self.store.entry_info(key)
         except KeyError as exc:
-            self._send_json(404, {"error": str(exc)})
-            return None
+            return self._json(404, {"error": str(exc)})
         except ValueError as exc:
-            # "store is closed": a request raced the shutdown path.  Answer
-            # it cleanly instead of dying with a traceback mid-connection.
-            self._send_json(503, {"error": str(exc)})
-            return None
+            return self._json(503, {"error": str(exc)})
+        return self._not_modified(request, info)
 
-    def _send_json(self, code: int, obj: dict, *, close: bool = False,
-                   extra: Optional[dict] = None) -> None:
+    def _not_modified(self, request: Request, info: ReadInfo
+                      ) -> Optional[Response]:
+        inm = request.header("if-none-match")
+        if inm is not None and _etag_matches(inm, info.etag):
+            return Response(304, b"", headers=self._entity_headers(info))
+        return None
+
+    @staticmethod
+    def _entity_headers(info: ReadInfo) -> Dict[str, str]:
+        return {"ETag": info.etag,
+                "X-Repro-Generation": str(info.generation)}
+
+    def _read_only_response(self) -> Response:
+        return self._json(405, {"error": "this server is read-only; start "
+                                         "repro serve with --root DIR "
+                                         "--writable to enable ingest"},
+                          close=True)
+
+    def _auth_failure(self, manager: IngestManager, request: Request,
+                      key: str) -> Optional[Response]:
+        """Enforce the manifest's bearer tokens; a Response means denied."""
+        required = manager.manifest.auth_token(key)
+        if required is None:
+            return None
+        supplied = (request.header("authorization", "") or "").strip()
+        if hmac.compare_digest(supplied, f"Bearer {required}"):
+            return None
+        return self._json(401, {"error": f"mutating key {key!r} requires a "
+                                         f"bearer token"},
+                          close=True,
+                          extra={"WWW-Authenticate": "Bearer"})
+
+    @staticmethod
+    def _json(code: int, obj: dict, *, close: bool = False,
+              extra: Optional[Dict[str, str]] = None) -> Response:
         # ``close`` drops the connection after the response: error paths of
         # the upload routes may leave unread body bytes on the socket, which
         # would desynchronize keep-alive framing for the next request.
-        body = json.dumps(obj, sort_keys=True).encode()
-        self.send_response(code)
-        self.send_header("Content-Type", "application/json")
-        self.send_header("Content-Length", str(len(body)))
-        for name, value in (extra or {}).items():
+        headers = {"Content-Type": "application/json"}
+        if extra:
+            headers.update(extra)
+        return Response(code, json.dumps(obj, sort_keys=True).encode(),
+                        headers=headers, close=close)
+
+
+# ---------------------------------------------------------------------------
+# The threaded front end (fallback: `repro serve --server threaded`)
+# ---------------------------------------------------------------------------
+
+class StoreRequestHandler(BaseHTTPRequestHandler):
+    """Adapts one ``http.server`` request to the shared :class:`StoreApp`."""
+
+    server: "StoreHTTPServer"  # narrowed from BaseServer: set by the server
+
+    server_version = "repro-serve/3"
+    protocol_version = "HTTP/1.1"  # keep-alive; every response sets Content-Length
+
+    def setup(self) -> None:
+        read_timeout = getattr(self.server, "read_timeout", None)
+        if read_timeout is not None:
+            self.timeout = read_timeout  # per-connection socket timeout
+        super().setup()
+
+    # ----------------------------------------------------------------- routes
+    def do_GET(self) -> None:  # noqa: N802 (http.server naming)
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._dispatch("POST")
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        self._dispatch("DELETE")
+
+    def _dispatch(self, method: str) -> None:
+        headers = {name.lower(): value for name, value in self.headers.items()}
+        request = Request(method, self.path, headers, self.rfile)
+        try:
+            response = self.server.app.handle(request)
+        except (BrokenPipeError, ConnectionResetError):  # pragma: no cover
+            # The client went away while its upload body was being read;
+            # nothing to salvage and nobody to answer.
+            self.close_connection = True
+            return
+        try:
+            self._send(response)
+        except (BrokenPipeError, ConnectionResetError):  # pragma: no cover
+            self.close_connection = True
+
+    def _send(self, response: Response) -> None:
+        self.send_response(response.status)
+        for name, value in response.headers.items():
             self.send_header(name, value)
-        if close:
+        self.send_header("Content-Length", str(len(response.body)))
+        if response.close:
             self.close_connection = True
             self.send_header("Connection", "close")
         self.end_headers()
-        self.wfile.write(body)
+        if response.body and response.status != 304:
+            self.wfile.write(response.body)
 
     def log_message(self, fmt, *args) -> None:
         if not getattr(self.server, "quiet", True):  # pragma: no cover
@@ -446,17 +729,23 @@ class StoreHTTPServer(ThreadingHTTPServer):
 
     ``ingest`` (an :class:`IngestManager`) enables the mutating routes; with
     ``None`` the server is read-only and POST/DELETE answer 405.
+    ``read_timeout`` (seconds, ``None`` = no limit) becomes each
+    connection's socket timeout, so an idle or stalled client eventually
+    frees its thread.
     """
 
     daemon_threads = True  # in-flight requests never block process exit
 
     def __init__(self, address: Tuple[str, int], store: ArchiveStore, *,
-                 quiet: bool = True, ingest: Optional[IngestManager] = None):
+                 quiet: bool = True, ingest: Optional[IngestManager] = None,
+                 read_timeout: Optional[float] = None):
         super().__init__(address, StoreRequestHandler)
+        self.app = StoreApp(store, ingest=ingest)
         self.store = store
         self.quiet = quiet
         self.ingest = ingest
-        self.metrics = RouteMetrics()
+        self.metrics = self.app.metrics
+        self.read_timeout = read_timeout
 
     @property
     def url(self) -> str:
@@ -466,8 +755,22 @@ class StoreHTTPServer(ThreadingHTTPServer):
 
 def make_server(store: ArchiveStore, host: str = "127.0.0.1", port: int = 0,
                 *, quiet: bool = True,
-                ingest: Optional[IngestManager] = None) -> StoreHTTPServer:
-    """Bind a :class:`StoreHTTPServer` (``port=0`` picks a free port).
+                ingest: Optional[IngestManager] = None,
+                server: str = "threaded",
+                read_timeout: Optional[float] = None,
+                max_connections: int = 512,
+                workers: Optional[int] = None,
+                ) -> "Union[StoreHTTPServer, AsyncStoreHTTPServer]":
+    """Bind a store HTTP server (``port=0`` picks a free port).
+
+    ``server`` selects the front end: ``"threaded"`` (default here, for
+    drop-in compatibility) is the one-thread-per-connection fallback;
+    ``"selectors"`` is the non-blocking event-loop front end of
+    :mod:`repro.store.aserver` (what the CLI defaults to) — same routes,
+    status codes and auth either way, since both wrap one
+    :class:`StoreApp`.  ``read_timeout`` bounds how long a connection may
+    sit idle (or stall mid-body); ``max_connections`` and ``workers`` apply
+    to the selectors front end (connection guard / decode pool size).
 
     The caller drives it: ``serve_forever()`` inline (what ``repro serve``
     does after printing the bound URL), or on a thread for embedding
@@ -475,7 +778,18 @@ def make_server(store: ArchiveStore, host: str = "127.0.0.1", port: int = 0,
     ``shutdown()`` + ``server_close()`` to stop.  Pass ``ingest=`` to enable
     the write routes (``POST`` / ``DELETE /v1/<key>``).
     """
-    return StoreHTTPServer((host, port), store, quiet=quiet, ingest=ingest)
+    if server in ("selectors", "async"):
+        from repro.store.aserver import AsyncStoreHTTPServer
+
+        return AsyncStoreHTTPServer(
+            (host, port), store, quiet=quiet, ingest=ingest,
+            read_timeout=read_timeout, max_connections=max_connections,
+            workers=workers)
+    if server != "threaded":
+        raise ValueError(f"unknown server kind {server!r} "
+                         f"(use 'selectors' or 'threaded')")
+    return StoreHTTPServer((host, port), store, quiet=quiet, ingest=ingest,
+                           read_timeout=read_timeout)
 
 
 install_guards(RouteMetrics, "_lock", ("_routes",))

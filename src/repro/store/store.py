@@ -21,9 +21,12 @@ Every public method is safe to call from many threads at once.
 
 from __future__ import annotations
 
+import hashlib
 import os
 import threading
-from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+import zlib
+from typing import (Any, Dict, List, NamedTuple, Optional, Sequence, Tuple,
+                    Union)
 
 import numpy as np
 
@@ -46,6 +49,30 @@ IndexType = Union[Archive, ChunkedIndex, GridIndex]
 
 #: What ``add`` accepts: archive bytes, or a path to an archive file.
 SourceType = Union[bytes, bytearray, memoryview, str, os.PathLike]
+
+
+class RegionSpecError(ValueError):
+    """The *request's* region does not fit the archive (caller fault, HTTP 400).
+
+    Subclasses ``ValueError`` so existing ``except ValueError`` callers keep
+    working; the HTTP layer catches this subclass to separate "your region is
+    malformed for this shape" (400) from archive-side decode faults (500).
+    """
+
+
+class ReadInfo(NamedTuple):
+    """Metadata of the entry a read actually resolved — one atomic snapshot.
+
+    ``index``/``generation``/``etag`` all belong to the *same* registered
+    entry the accompanying array was decoded from, so response metadata can
+    never contradict the body across a concurrent ``replace``.  ``bounds``
+    is the normalized region (empty for non-region lookups).
+    """
+
+    index: IndexType
+    generation: int
+    etag: str
+    bounds: Tuple[Tuple[int, int], ...]
 
 
 # ---------------------------------------------------------------------------
@@ -119,6 +146,28 @@ def _open_handle(source: SourceType):
         f"{type(source)!r}")
 
 
+def _content_etag(index: IndexType) -> str:
+    """A strong entity tag derived from the archive's content tokens.
+
+    Chunked/grid archives hash their per-tile identity (offsets, lengths,
+    CRC-32s) plus the envelope fields; single-shot v1 archives hash the
+    payload CRC directly.  Two archives with identical bytes get identical
+    tags, and any tile-level change flips some CRC and therefore the tag —
+    exactly the conditional-GET contract, with no extra I/O at add time.
+    """
+    h = hashlib.sha1()
+    h.update(repr((type(index).__name__, index.version, index.codec,
+                   tuple(index.shape), str(index.dtype), index.bound_mode,
+                   float(index.bound_value))).encode())
+    if isinstance(index, Archive):  # v1: one payload is the whole content
+        payload = index.payload
+        h.update(repr((len(payload), zlib.crc32(payload))).encode())
+    else:
+        h.update(repr((tuple(index.offsets), tuple(index.lengths),
+                       tuple(index.crcs))).encode())
+    return f'"{h.hexdigest()}"'
+
+
 # ---------------------------------------------------------------------------
 # The store
 # ---------------------------------------------------------------------------
@@ -133,6 +182,7 @@ class _Entry:
     """
 
     __slots__ = ("key", "handle", "index", "token", "decode_opts",
+                 "generation", "etag",
                  "_pin_lock", "_pins", "_retired", "_on_close")
 
     def __init__(self, key: str, handle, index: IndexType, decode_opts: dict):
@@ -145,6 +195,11 @@ class _Entry:
         # (even across stores sharing one TileCache).
         self.token = object()
         self.decode_opts = decode_opts
+        # Both are immutable once the entry is published into a store's
+        # registry: generation is (re)assigned under the store lock before
+        # insertion, the etag is a pure function of the parsed index.
+        self.generation = 1
+        self.etag = _content_etag(index)
         self._pin_lock = make_lock("_Entry._pin_lock")
         self._pins = 0  # guarded by: self._pin_lock
         self._retired = False  # guarded by: self._pin_lock
@@ -235,16 +290,20 @@ class ArchiveStore:
     # ------------------------------------------------------------- lifecycle
     def add(self, key: str, source: SourceType, *, model: Any = None,
             autoencoder: Any = None,
-            codec_options: Optional[dict] = None) -> str:
+            codec_options: Optional[dict] = None,
+            generation: int = 1) -> str:
         """Open ``source`` (path or bytes) and register it under ``key``.
 
         The header is read and validated here — exactly once per archive —
         and the codec must be known to the registry.  ``model`` /
         ``autoencoder`` / ``codec_options`` become the decode context for
-        every tile of this archive.  Returns ``key``.
+        every tile of this archive; ``generation`` is the entry's served
+        generation counter (a durable node passes its manifest generation so
+        HTTP responses and the manifest agree).  Returns ``key``.
         """
         entry = self._build_entry(key, source, model, autoencoder,
                                   codec_options)
+        entry.generation = int(generation)
         with self._lock:
             if self._closed:
                 entry.handle.close()
@@ -257,7 +316,7 @@ class ArchiveStore:
 
     def replace(self, key: str, source: SourceType, *, model: Any = None,
                 autoencoder: Any = None, codec_options: Optional[dict] = None,
-                on_release=None) -> str:
+                on_release=None, generation: Optional[int] = None) -> str:
         """Atomically swap ``key`` to a new archive (registering it if absent).
 
         The swap is one registry operation: every read that resolves ``key``
@@ -266,7 +325,8 @@ class ArchiveStore:
         mid-replace.  In-flight readers of the old archive finish against its
         still-open handle (pin counts); ``on_release`` fires once that handle
         actually closes — the ingest layer unlinks the replaced file there.
-        Returns ``key``.
+        ``generation`` pins the new entry's counter (``None`` = one past the
+        replaced entry's, or 1 when registering fresh).  Returns ``key``.
         """
         entry = self._build_entry(key, source, model, autoencoder,
                                   codec_options)
@@ -275,6 +335,10 @@ class ArchiveStore:
                 entry.handle.close()
                 raise ValueError("store is closed")
             old = self._entries.get(key)
+            if generation is not None:
+                entry.generation = int(generation)
+            elif old is not None:
+                entry.generation = old.generation + 1
             self._entries[key] = entry
         if old is not None:
             old.retire(on_close=on_release)
@@ -362,6 +426,17 @@ class ArchiveStore:
         entry.unpin()  # the index is plain parsed data; no handle use follows
         return entry.index
 
+    def entry_info(self, key: str) -> ReadInfo:
+        """One atomic snapshot of ``key``'s header, generation and ETag.
+
+        Unlike three separate :meth:`info`-style lookups, everything in the
+        returned :class:`ReadInfo` describes the *same* registered entry,
+        even while a concurrent ``replace`` is swapping the key.
+        """
+        entry = self._entry(key)
+        entry.unpin()  # plain parsed metadata; no handle use follows
+        return ReadInfo(entry.index, entry.generation, entry.etag, ())
+
     def stats(self) -> dict:
         """Cache counters plus store-level read/decode totals."""
         out = self._cache.stats()
@@ -388,12 +463,27 @@ class ArchiveStore:
         from the shared cache when warm; cold tiles are read positionally,
         CRC-checked and decoded at most once across all concurrent callers.
         """
+        return self.read_region_with_info(key, region, out=out)[0]
+
+    def read_region_with_info(self, key: str, region, *,
+                              out: Optional[np.ndarray] = None
+                              ) -> Tuple[np.ndarray, ReadInfo]:
+        """:meth:`read_region` plus the metadata of the entry actually read.
+
+        The entry lookup, bounds normalization and decode all happen against
+        one pinned entry, so the returned :class:`ReadInfo` (shape, bounds,
+        generation, ETag) can never describe a different archive than the
+        bytes — the guarantee the HTTP layer needs to build response headers
+        that match the body under concurrent ``replace``.
+        """
         entry = self._entry(key)
         try:
             bounds = self._bounds(entry, region)
             with self._stats_lock:
                 self._region_reads += 1
-            return self._gather(entry, bounds, out)
+            arr = self._gather(entry, bounds, out)
+            return arr, ReadInfo(entry.index, entry.generation, entry.etag,
+                                 bounds)
         finally:
             entry.unpin()
 
@@ -404,6 +494,16 @@ class ArchiveStore:
         and cropped into every requesting region — the per-tile work is
         O(distinct tiles of the union), not O(sum over regions).  Returns one
         region-shaped array per input region, in order.
+        """
+        return self.read_regions_with_info(key, regions)[0]
+
+    def read_regions_with_info(self, key: str, regions: Sequence
+                               ) -> Tuple[List[np.ndarray], List[ReadInfo]]:
+        """:meth:`read_regions` plus one :class:`ReadInfo` per region.
+
+        All infos share the index/generation/ETag of the single pinned entry
+        the whole batch was decoded from (one atomic lookup for the batch);
+        each carries its own normalized bounds.
         """
         entry = self._entry(key)
         try:
@@ -422,10 +522,13 @@ class ArchiveStore:
                 for j in readers:
                     results[j] = self._place(results[j], bounds_list[j],
                                              entry, i, tile)
-            return [r if r is not None
-                    else np.empty(tuple(b1 - b0 for b0, b1 in bounds),
-                                  dtype=np.dtype(entry.index.dtype))
-                    for r, bounds in zip(results, bounds_list)]
+            arrays = [r if r is not None
+                      else np.empty(tuple(b1 - b0 for b0, b1 in bounds),
+                                    dtype=np.dtype(entry.index.dtype))
+                      for r, bounds in zip(results, bounds_list)]
+            infos = [ReadInfo(entry.index, entry.generation, entry.etag,
+                              bounds) for bounds in bounds_list]
+            return arrays, infos
         finally:
             entry.unpin()
 
@@ -448,9 +551,17 @@ class ArchiveStore:
 
     @staticmethod
     def _bounds(entry: _Entry, region) -> Tuple[Tuple[int, int], ...]:
-        if isinstance(region, str):
-            region = parse_region(region)
-        return normalize_region(region, entry.index.shape)
+        # Spec problems re-raise as RegionSpecError so the HTTP layer can
+        # answer 400 (caller fault) without a separate pre-read validation
+        # pass against a possibly different entry.
+        try:
+            if isinstance(region, str):
+                region = parse_region(region)
+            return normalize_region(region, entry.index.shape)
+        except RegionSpecError:
+            raise
+        except ValueError as exc:
+            raise RegionSpecError(str(exc)) from None
 
     def _tile(self, entry: _Entry, i: int) -> np.ndarray:
         """The decoded (full, uncropped) tile ``i``, via the shared cache."""

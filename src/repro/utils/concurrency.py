@@ -115,6 +115,12 @@ class CheckedLock:
         """True iff the *calling* thread holds this lock."""
         return self._owner == threading.get_ident()
 
+    def _is_owned(self) -> bool:
+        # ``threading.Condition`` probes ownership through this hook; without
+        # it the fallback probe calls ``acquire(False)`` on a held lock, which
+        # the order checker reports as a self-deadlock.
+        return self.held()
+
     def locked(self) -> bool:
         return self._lock.locked()
 

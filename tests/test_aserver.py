@@ -1,0 +1,425 @@
+"""The selectors front end: framing, backpressure, guards, write path.
+
+`test_store_server.py` already runs the whole endpoint contract against both
+front ends; this module covers what only shows up at the transport level —
+keep-alive framing across bodied requests and 4xx-with-unread-body uploads,
+the replace-vs-read metadata race the atomic read path fixes, per-connection
+read timeouts, the max-connections guard — plus the client-side bugfixes
+(URL base path, non-finite range, 0-d sources).
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+import repro
+from repro import api
+from repro.store import ArchiveStore, IngestManager, make_server
+from repro.store.client import PushError, delete_key, push_field
+from repro.store.server import Request, StoreApp
+
+CODEC = "szinterp"
+SIDE, TILE = 32, 16
+
+
+@pytest.fixture(scope="module")
+def field():
+    rng = np.random.default_rng(23)
+    return rng.standard_normal((SIDE, SIDE, SIDE)).cumsum(axis=0)
+
+
+@pytest.fixture(scope="module")
+def grid_blob(field):
+    return api.compress_chunked(field, codec=CODEC, bound=1e-3,
+                                chunk_shape=(TILE, TILE, TILE))
+
+
+@pytest.fixture()
+def grid_path(grid_blob, tmp_path):
+    path = tmp_path / "grid.rpra"
+    path.write_bytes(grid_blob)
+    return str(path)
+
+
+def _start(store, **kwargs):
+    srv = make_server(store, server=kwargs.pop("server", "selectors"),
+                      **kwargs)
+    thread = threading.Thread(target=srv.serve_forever, daemon=True)
+    thread.start()
+    return srv, thread
+
+
+@pytest.fixture(params=["threaded", "selectors"])
+def server(grid_path, request):
+    store = ArchiveStore()
+    store.add("field", grid_path)
+    srv, thread = _start(store, server=request.param)
+    try:
+        yield srv
+    finally:
+        srv.shutdown()
+        srv.server_close()
+        store.close()
+        thread.join(timeout=10)
+
+
+def _read_response(f):
+    """Parse one HTTP response off a buffered socket file."""
+    status_line = f.readline()
+    assert status_line, "connection closed before a response arrived"
+    parts = status_line.split(None, 2)
+    status = int(parts[1])
+    headers = {}
+    while True:
+        raw = f.readline().strip()
+        if not raw:
+            break
+        name, _, value = raw.partition(b":")
+        headers[name.decode().lower()] = value.decode().strip()
+    length = int(headers.get("content-length", "0"))
+    body = f.read(length) if length else b""
+    return status, headers, body
+
+
+# ---------------------------------------------------------------------------
+# Keep-alive framing (both front ends)
+# ---------------------------------------------------------------------------
+
+class TestKeepAliveFraming:
+    def test_pipelined_gets_one_connection(self, server):
+        with socket.create_connection(server.server_address[:2],
+                                      timeout=30) as s:
+            f = s.makefile("rb")
+            n = 4
+            s.sendall(b"GET /v1/field/info HTTP/1.1\r\nHost: t\r\n\r\n" * n)
+            generations = set()
+            for _ in range(n):
+                status, headers, body = _read_response(f)
+                assert status == 200
+                generations.add(json.loads(body)["generation"])
+            assert generations == {1}
+
+    def test_batched_post_then_pipelined_get(self, server):
+        """A fully-read body hands unconsumed pipelined bytes to the next
+        request — the leftover path of the async body channel."""
+        payload = json.dumps({"regions": ["0:2,0:2,0:2"]}).encode()
+        post = (b"POST /v1/field/regions HTTP/1.1\r\nHost: t\r\n"
+                b"Content-Length: " + str(len(payload)).encode() +
+                b"\r\n\r\n" + payload)
+        get = b"GET /v1/field/info HTTP/1.1\r\nHost: t\r\n\r\n"
+        with socket.create_connection(server.server_address[:2],
+                                      timeout=30) as s:
+            f = s.makefile("rb")
+            s.sendall(post + get)  # glued: the GET rides behind the body
+            status, _, body = _read_response(f)
+            assert status == 200 and len(body) == 2 * 2 * 2 * 8
+            status, _, body = _read_response(f)
+            assert status == 200 and json.loads(body)["key"] == "field"
+
+    def test_aborted_upload_4xx_closes_instead_of_desync(self, server):
+        """A 4xx answered with the declared body unread MUST close the
+        connection: the pipelined request behind the body is never
+        misparsed as a request (it would be body bytes)."""
+        upload = (b"POST /v1/field HTTP/1.1\r\nHost: t\r\n"
+                  b"Content-Length: 1000000\r\n\r\n" + b"x" * 128)
+        get = b"GET /v1/field/info HTTP/1.1\r\nHost: t\r\n\r\n"
+        with socket.create_connection(server.server_address[:2],
+                                      timeout=30) as s:
+            f = s.makefile("rb")
+            s.sendall(upload + get)
+            status, headers, body = _read_response(f)
+            # Read-only server: 405, connection-closing by contract.
+            assert status == 405
+            assert headers.get("connection") == "close"
+            assert "read-only" in json.loads(body)["error"]
+            # The glued GET must never be answered; the socket just ends.
+            assert f.read() == b""
+
+    def test_request_then_4xx_then_fresh_connection(self, server):
+        with socket.create_connection(server.server_address[:2],
+                                      timeout=30) as s:
+            f = s.makefile("rb")
+            s.sendall(b"GET /v1/field/info HTTP/1.1\r\nHost: t\r\n\r\n")
+            assert _read_response(f)[0] == 200
+            s.sendall(b"POST /v1/field HTTP/1.1\r\nHost: t\r\n"
+                      b"Content-Length: 10\r\n\r\n")
+            status, headers, _ = _read_response(f)
+            assert status == 405 and headers.get("connection") == "close"
+        # The server stays healthy for new connections.
+        with socket.create_connection(server.server_address[:2],
+                                      timeout=30) as s:
+            f = s.makefile("rb")
+            s.sendall(b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n")
+            assert _read_response(f)[0] == 200
+
+
+# ---------------------------------------------------------------------------
+# Replace-vs-read metadata atomicity (the PR's headline read-path bugfix)
+# ---------------------------------------------------------------------------
+
+class TestReplaceVsReadMetadata:
+    def test_headers_always_describe_the_body(self, field, tmp_path):
+        """Hammer reads while the key flips between archives of different
+        dtypes: every response's shape/dtype header must describe the body
+        that actually shipped (the old ``info()``-then-read pattern could
+        pair generation-N headers with a generation-M body)."""
+        f32 = tmp_path / "a32.rpra"
+        f64 = tmp_path / "a64.rpra"
+        f32.write_bytes(api.compress_chunked(
+            field.astype(np.float32), codec=CODEC, bound=1e-3,
+            chunk_shape=(TILE, TILE, TILE)))
+        f64.write_bytes(api.compress_chunked(
+            field, codec=CODEC, bound=1e-3,
+            chunk_shape=(TILE, TILE, TILE)))
+        store = ArchiveStore()
+        store.add("field", str(f32))
+        app = StoreApp(store)
+        stop = threading.Event()
+        flips = 0
+
+        def flipper():
+            nonlocal flips
+            paths = [str(f64), str(f32)]
+            while not stop.is_set():
+                store.replace("field", paths[flips % 2])
+                flips += 1
+
+        errors = []
+
+        def reader():
+            import io
+            while not stop.is_set():
+                req = Request("GET", "/v1/field/region?r=0:4,0:4,0:4",
+                              {}, io.BytesIO(b""))
+                resp = app.handle(req)
+                if resp.status != 200:
+                    errors.append(f"status {resp.status}")
+                    continue
+                meta = json.loads(resp.headers["X-Repro-Header"])
+                dtype = np.dtype(resp.headers["X-Repro-Dtype"])
+                if meta["dtype"] != str(dtype):
+                    errors.append("header dtype mismatch")
+                expected = int(np.prod(meta["shape"])) * dtype.itemsize
+                if len(resp.body) != expected:
+                    errors.append(
+                        f"body {len(resp.body)}B contradicts advertised "
+                        f"{meta['shape']}/{dtype} ({expected}B)")
+
+        threads = [threading.Thread(target=reader) for _ in range(4)]
+        threads.append(threading.Thread(target=flipper))
+        for t in threads:
+            t.start()
+        time.sleep(1.0)
+        stop.set()
+        for t in threads:
+            t.join(timeout=30)
+        store.close()
+        assert flips > 10, "replace thread never got going"
+        assert not errors, errors[:5]
+
+
+# ---------------------------------------------------------------------------
+# Async-only transport guards
+# ---------------------------------------------------------------------------
+
+class TestAsyncGuards:
+    def test_read_timeout_drops_idle_connection(self, grid_path):
+        store = ArchiveStore()
+        store.add("field", grid_path)
+        srv, thread = _start(store, read_timeout=0.5)
+        try:
+            with socket.create_connection(srv.server_address,
+                                          timeout=30) as s:
+                s.sendall(b"GET /v1/field")  # a stalled partial request
+                s.settimeout(10)
+                assert s.recv(1024) == b""  # dropped by the timeout scan
+        finally:
+            srv.shutdown()
+            srv.server_close()
+            store.close()
+            thread.join(timeout=10)
+
+    def test_max_connections_guard_503(self, grid_path):
+        store = ArchiveStore()
+        store.add("field", grid_path)
+        srv, thread = _start(store, max_connections=4)
+        held = []
+        try:
+            for _ in range(4):
+                held.append(socket.create_connection(srv.server_address,
+                                                     timeout=30))
+            # Give the loop a beat to adopt all four.
+            deadline = time.monotonic() + 5
+            while len(srv._conns) < 4 and time.monotonic() < deadline:
+                time.sleep(0.01)
+            with socket.create_connection(srv.server_address,
+                                          timeout=30) as extra:
+                f = extra.makefile("rb")
+                status, headers, body = _read_response(f)
+                assert status == 503
+                assert headers.get("connection") == "close"
+                assert "connection limit" in json.loads(body)["error"]
+            # Releasing one slot restores service.
+            held.pop().close()
+            deadline = time.monotonic() + 5
+            while len(srv._conns) > 3 and time.monotonic() < deadline:
+                time.sleep(0.01)
+            with socket.create_connection(srv.server_address,
+                                          timeout=30) as s:
+                f = s.makefile("rb")
+                s.sendall(b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n")
+                assert _read_response(f)[0] == 200
+        finally:
+            for sock in held:
+                sock.close()
+            srv.shutdown()
+            srv.server_close()
+            store.close()
+            thread.join(timeout=10)
+
+    def test_malformed_request_line_400(self, grid_path):
+        store = ArchiveStore()
+        store.add("field", grid_path)
+        srv, thread = _start(store)
+        try:
+            with socket.create_connection(srv.server_address,
+                                          timeout=30) as s:
+                f = s.makefile("rb")
+                s.sendall(b"NONSENSE\r\n\r\n")
+                status, headers, _ = _read_response(f)
+                assert status == 400
+                assert headers.get("connection") == "close"
+            with socket.create_connection(srv.server_address,
+                                          timeout=30) as s:
+                f = s.makefile("rb")
+                s.sendall(b"PATCH /v1/field HTTP/1.1\r\nHost: t\r\n\r\n")
+                assert _read_response(f)[0] == 501
+        finally:
+            srv.shutdown()
+            srv.server_close()
+            store.close()
+            thread.join(timeout=10)
+
+
+# ---------------------------------------------------------------------------
+# Write path over the selectors front end (chunked upload via the channel)
+# ---------------------------------------------------------------------------
+
+class TestAsyncWritePath:
+    def test_push_replace_delete_roundtrip(self, tmp_path, field):
+        store = ArchiveStore()
+        manager = IngestManager(tmp_path / "root", store)
+        srv, thread = _start(store, ingest=manager)
+        try:
+            out = push_field(srv.url, "f", field.astype(np.float32),
+                             bound=1e-3, codec=CODEC)
+            assert out["status"] == 201 and out["generation"] == 1
+            status, headers, body = _fetch(srv.url,
+                                           "/v1/f/region?r=0:4,0:4,0:4")
+            assert status == 200
+            got = np.frombuffer(body, dtype=headers["x-repro-dtype"])
+            assert got.shape == (4 * 4 * 4,)
+            # Replace: generation bumps, the ETag flips.
+            etag1 = _fetch(srv.url, "/v1/f/info")[1]["etag"]
+            out = push_field(srv.url, "f", field.astype(np.float32),
+                             bound=1e-4, codec=CODEC)
+            assert out["status"] == 200 and out["generation"] == 2
+            status, headers, body = _fetch(srv.url, "/v1/f/info")
+            assert json.loads(body)["generation"] == 2
+            assert headers["etag"] != etag1
+            out = delete_key(srv.url, "f")
+            assert out["deleted"] == "f"
+            assert _fetch(srv.url, "/v1/f/info")[0] == 404
+        finally:
+            srv.shutdown()
+            srv.server_close()
+            store.close()
+            thread.join(timeout=10)
+
+    def test_auth_denied_mid_stream_push(self, tmp_path, field):
+        """A 401 while the chunked body is still streaming: the client must
+        surface the status (not EPIPE), and the server must stay healthy."""
+        store = ArchiveStore()
+        manager = IngestManager(tmp_path / "root", store)
+        manager.manifest.set_auth("*", "sesame")
+        srv, thread = _start(store, ingest=manager)
+        try:
+            with pytest.raises(PushError) as err:
+                push_field(srv.url, "f", field.astype(np.float32),
+                           bound=1e-3, codec=CODEC)
+            assert err.value.status == 401
+            out = push_field(srv.url, "f", field.astype(np.float32),
+                             bound=1e-3, codec=CODEC, token="sesame")
+            assert out["status"] == 201
+        finally:
+            srv.shutdown()
+            srv.server_close()
+            store.close()
+            thread.join(timeout=10)
+
+
+def _fetch(base, path):
+    import http.client
+    from urllib.parse import urlsplit
+
+    parts = urlsplit(base)
+    conn = http.client.HTTPConnection(parts.hostname, parts.port, timeout=30)
+    try:
+        conn.request("GET", path)
+        resp = conn.getresponse()
+        return resp.status, {k.lower(): v for k, v in resp.getheaders()}, \
+            resp.read()
+    finally:
+        conn.close()
+
+
+# ---------------------------------------------------------------------------
+# Client-side bugfixes
+# ---------------------------------------------------------------------------
+
+class TestClientFixes:
+    def test_url_base_path_prefix_is_honored(self, tmp_path, field):
+        """``push http://host/prefix`` must hit /prefix/v1/<key> (404 on a
+        server without that mount), not silently post to /v1/<key>."""
+        store = ArchiveStore()
+        manager = IngestManager(tmp_path / "root", store)
+        srv, thread = _start(store, ingest=manager)
+        try:
+            with pytest.raises(PushError) as err:
+                push_field(srv.url + "/prefix", "f",
+                           field.astype(np.float32), bound=1e-3, codec=CODEC)
+            assert err.value.status == 404
+            with pytest.raises(PushError) as err:
+                delete_key(srv.url + "/prefix/", "f")
+            assert err.value.status == 404
+            # The unprefixed URL still lands on the real route.
+            out = push_field(srv.url, "f", field.astype(np.float32),
+                             bound=1e-3, codec=CODEC)
+            assert out["status"] == 201
+        finally:
+            srv.shutdown()
+            srv.server_close()
+            store.close()
+            thread.join(timeout=10)
+
+    def test_non_finite_range_fails_fast_client_side(self):
+        bad = np.ones((8, 8), dtype=np.float32)
+        bad[3, 3] = np.nan
+        # An unroutable URL proves no connection is even attempted.
+        with pytest.raises(ValueError, match="non-finite"):
+            push_field("http://127.0.0.1:9", "f", bad, bound=1e-3)
+        bad[3, 3] = np.inf
+        with pytest.raises(ValueError, match="non-finite"):
+            push_field("http://127.0.0.1:9", "f", bad, bound=1e-3)
+
+    def test_zero_d_source_clear_error(self):
+        with pytest.raises(ValueError, match="0-d"):
+            push_field("http://127.0.0.1:9", "f",
+                       np.array(3.0, dtype=np.float32), bound=1e-3)

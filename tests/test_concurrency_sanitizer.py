@@ -124,7 +124,8 @@ class TestSpecsMatchStaticAnnotations:
                 for cls, by_lock in inverted.items()}
 
     def test_store_and_cache_specs_agree(self):
-        import repro.store.cache  # noqa: F401  (registers specs on import)
+        import repro.store.aserver  # noqa: F401  (registers specs on import)
+        import repro.store.cache  # noqa: F401
         import repro.store.ingest  # noqa: F401
         import repro.store.manifest  # noqa: F401
         import repro.store.server  # noqa: F401
@@ -138,7 +139,7 @@ class TestSpecsMatchStaticAnnotations:
         }
         static = {}
         for rel in ("store.py", "cache.py", "manifest.py", "ingest.py",
-                    "server.py"):
+                    "server.py", "aserver.py"):
             static.update(self._static_guards(f"src/repro/store/{rel}"))
         assert registered == static
         assert {"ArchiveStore", "_Entry", "TileCache", "StoreManifest",

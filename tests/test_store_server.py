@@ -50,12 +50,17 @@ def grid_path(grid_blob, tmp_path):
     return str(path)
 
 
-@pytest.fixture()
-def server(grid_path):
-    """An in-process threaded server on an OS-assigned free port."""
+@pytest.fixture(params=["threaded", "selectors"])
+def server(grid_path, request):
+    """An in-process server on an OS-assigned free port, both front ends.
+
+    Every test in this module runs against the threaded fallback AND the
+    selectors event loop: the endpoint contract must not depend on the
+    transport.
+    """
     store = ArchiveStore()
     store.add("field", grid_path)
-    srv = make_server(store)  # port=0: never collides across parallel workers
+    srv = make_server(store, server=request.param)  # port=0: never collides
     thread = threading.Thread(target=srv.serve_forever, daemon=True)
     thread.start()
     try:
@@ -321,3 +326,144 @@ class TestCliServe:
         finally:
             proc.terminate()
             proc.wait(timeout=30)
+
+
+# ---------------------------------------------------------------------------
+# Conditional GET, batched regions, latency histograms (both front ends)
+# ---------------------------------------------------------------------------
+
+def _open_conn(server):
+    import http.client
+
+    host, port = server.server_address[:2]
+    return http.client.HTTPConnection(host, port, timeout=30)
+
+
+class TestConditionalGet:
+    def test_info_304_on_matching_etag(self, server):
+        conn = _open_conn(server)
+        try:
+            conn.request("GET", "/v1/field/info")
+            resp = conn.getresponse()
+            etag = resp.getheader("ETag")
+            generation = resp.getheader("X-Repro-Generation")
+            resp.read()
+            assert resp.status == 200 and etag and generation == "1"
+            conn.request("GET", "/v1/field/info",
+                         headers={"If-None-Match": etag})
+            resp = conn.getresponse()
+            body = resp.read()
+            assert resp.status == 304 and body == b""
+            assert resp.getheader("ETag") == etag
+            assert resp.getheader("X-Repro-Generation") == "1"
+        finally:
+            conn.close()
+
+    def test_region_304_skips_body(self, server):
+        conn = _open_conn(server)
+        try:
+            conn.request("GET", "/v1/field/region?r=0:4,0:4,0:4")
+            resp = conn.getresponse()
+            etag = resp.getheader("ETag")
+            body = resp.read()
+            assert resp.status == 200 and len(body) > 0 and etag
+            for inm in (etag, f'W/{etag}', f'"zzz", {etag}', "*"):
+                conn.request("GET", "/v1/field/region?r=0:4,0:4,0:4",
+                             headers={"If-None-Match": inm})
+                resp = conn.getresponse()
+                assert resp.status == 304 and resp.read() == b"", inm
+        finally:
+            conn.close()
+
+    def test_stale_etag_gets_fresh_body(self, server):
+        conn = _open_conn(server)
+        try:
+            conn.request("GET", "/v1/field/region?r=0:4,0:4,0:4",
+                         headers={"If-None-Match": '"deadbeef"'})
+            resp = conn.getresponse()
+            body = resp.read()
+            assert resp.status == 200 and len(body) == 4 * 4 * 4 * 8
+        finally:
+            conn.close()
+
+    def test_conditional_get_unknown_key_404(self, server):
+        conn = _open_conn(server)
+        try:
+            conn.request("GET", "/v1/nope/region?r=0:1",
+                         headers={"If-None-Match": '"x"'})
+            resp = conn.getresponse()
+            resp.read()
+            assert resp.status == 404
+        finally:
+            conn.close()
+
+
+class TestBatchedRegions:
+    SPECS = ["0:4,0:4,0:4", "10:20,0:8,4:9", "30"]
+
+    def _post(self, server, payload: bytes):
+        conn = _open_conn(server)
+        try:
+            conn.request("POST", "/v1/field/regions", body=payload,
+                         headers={"Content-Type": "application/json"})
+            resp = conn.getresponse()
+            return resp.status, dict(resp.getheaders()), resp.read()
+        finally:
+            conn.close()
+
+    def test_batch_matches_single_region_reads(self, server, grid_path):
+        payload = json.dumps({"regions": self.SPECS}).encode()
+        status, headers, body = self._post(server, payload)
+        assert status == 200
+        meta = json.loads(headers["X-Repro-Header"])
+        assert meta["count"] == len(self.SPECS) == int(headers["X-Repro-Count"])
+        assert meta["generation"] == 1 and headers.get("ETag")
+        for spec, part in zip(self.SPECS, meta["regions"]):
+            got = np.frombuffer(
+                body[part["offset"]:part["offset"] + part["nbytes"]],
+                dtype=np.dtype(part["dtype"])).reshape(part["shape"])
+            assert np.array_equal(got, repro.read_region(grid_path, spec)), spec
+        assert len(body) == sum(p["nbytes"] for p in meta["regions"])
+
+    def test_bare_list_body_accepted(self, server):
+        status, headers, body = self._post(
+            server, json.dumps(["0:2,0:2,0:2"]).encode())
+        assert status == 200 and len(body) == 2 * 2 * 2 * 8
+
+    def test_bad_batches_400(self, server):
+        for payload in (b"not json", b"{}", b"[]", b'{"regions": [1, 2]}',
+                        b'{"regions": "0:1"}'):
+            status, _, body = self._post(server, payload)
+            assert status == 400, payload
+            assert "error" in json.loads(body)
+
+    def test_bad_region_spec_400_unknown_key_404(self, server):
+        status, _, _ = self._post(
+            server, json.dumps({"regions": ["bogus"]}).encode())
+        assert status == 400
+        conn = _open_conn(server)
+        try:
+            conn.request("POST", "/v1/nope/regions",
+                         body=json.dumps(["0:1"]).encode())
+            resp = conn.getresponse()
+            resp.read()
+            assert resp.status == 404
+        finally:
+            conn.close()
+
+    def test_oversized_batch_rejected(self, server):
+        many = json.dumps({"regions": ["0:1,0:1,0:1"] * 2000}).encode()
+        status, _, _ = self._post(server, many)
+        assert status == 400
+
+
+class TestLatencyHistograms:
+    def test_metrics_report_quantiles(self, server):
+        for _ in range(3):
+            _get(server.url + "/v1/field/region?r=0:4,0:4,0:4")
+        _get_error(server.url + "/v1/field/region?r=bogus")
+        doc = json.loads(_get(server.url + "/metrics")[2])
+        region = doc["routes"]["region"]
+        assert region["requests"] == 4 and region["errors"] == 1
+        assert sum(region["buckets"]) == 4
+        assert region["p50_ms"] > 0 and region["p99_ms"] >= region["p50_ms"]
