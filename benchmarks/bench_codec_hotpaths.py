@@ -1,0 +1,223 @@
+"""Codec hot-path benchmark: vectorized encode speedups + threaded tile decode.
+
+The encode paths of ``sz21`` and ``szinterp`` and the Huffman bit-packer are
+vectorized hyperplane-style, with the original scalar loops retained as
+reference implementations behind ``scalar=True``.  The store's
+``read_region`` can additionally fan independent tile decodes over a bounded
+thread pool (``decode_workers``).  This benchmark pins all three claims:
+
+* **encode MB/s, scalar vs vectorized** — same codec object, same field,
+  both paths; the archives must be **byte-identical** (asserted every run),
+* **decode MB/s** — the decode side of each codec on the vectorized archive,
+* **region-read latency, 1 vs N decode workers** — a cold multi-tile region
+  read through :class:`ArchiveStore`, serial vs pooled, results asserted
+  bit-identical.
+
+Regression gates (asserted in every mode, sized for a 1-2 core CI box):
+
+* sz21 vectorized encode >= 3x its scalar reference,
+* szinterp and Huffman vectorized encode >= their scalar reference
+  (within a 10% tolerance),
+* pooled region read no slower than serial beyond a 35% tolerance
+  (threading cannot help on a single-core runner; it must never hurt).
+
+``--smoke`` runs a CI-sized field; ``--out`` writes the rows as JSON
+(``BENCH_9.json`` — the codec-hot-path point of the perf trajectory).
+
+Run standalone with ``python benchmarks/bench_codec_hotpaths.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+if __package__ in (None, ""):  # standalone execution
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1]))
+
+import repro
+from repro import api
+from repro.bounds import Rel
+from repro.encoding.huffman import HuffmanCodec, _pack_codes, _pack_codes_scalar
+from repro.store import ArchiveStore
+
+BOUND = Rel(1e-3)
+
+# Full: 192x192x32 float64 (~9.4 MB raw).  Smoke: 40x40x12 (~0.15 MB) —
+# the scalar sz21/szinterp references are per-point Python loops, so the
+# smoke field is sized to keep their timed runs in CI budget.
+FULL_SHAPE = (192, 192, 32)
+SMOKE_SHAPE = (40, 40, 12)
+
+# Region-read measurement: a tile grid with a multi-tile region, serial vs
+# pooled decode.  Smoke keeps 27 tiles but shrinks them.
+FULL_GRID = {"side": 96, "tile": 32, "workers": 4}
+SMOKE_GRID = {"side": 48, "tile": 16, "workers": 4}
+
+HUFF_SYMBOLS_FULL = 2_000_000
+HUFF_SYMBOLS_SMOKE = 200_000
+
+SZ21_SPEEDUP_MIN = 3.0      # the headline vectorization gate
+VEC_SPEEDUP_MIN = 0.9       # szinterp/huffman: never slower than scalar +10%
+THREADED_TOLERANCE = 1.35   # pooled read <= serial * tol (1-core CI safe)
+
+
+def _field(shape, seed: int = 0) -> np.ndarray:
+    """A smooth field (cumsum of white noise, SDRBench-like)."""
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal(shape).cumsum(axis=0)
+
+
+def _best(fn, repeats: int) -> tuple[float, object]:
+    """min-of-N wall time plus the last result (all runs must agree)."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def bench_encoders(shape, repeats: int) -> list[dict]:
+    """Scalar-vs-vectorized encode MB/s per codec, byte-identity asserted."""
+    data = _field(shape)
+    raw_mb = data.nbytes / 1e6
+    rows = []
+    for codec in ("sz21", "szinterp"):
+        scalar_s, blob_scalar = _best(
+            lambda c=codec: repro.compress(data, c, BOUND,
+                                           codec_options={"scalar": True}),
+            repeats)
+        vec_s, blob_vec = _best(
+            lambda c=codec: repro.compress(data, c, BOUND), repeats)
+        if blob_vec != blob_scalar:
+            raise AssertionError(
+                f"{codec}: vectorized archive differs from the scalar "
+                f"reference encoder's bytes")
+        dec_s, recon = _best(lambda b=blob_vec: repro.decompress(b), repeats)
+        if recon.shape != data.shape:
+            raise AssertionError(f"{codec}: decode shape mismatch")
+        speedup = scalar_s / vec_s
+        gate = SZ21_SPEEDUP_MIN if codec == "sz21" else VEC_SPEEDUP_MIN
+        if speedup < gate:
+            raise AssertionError(
+                f"{codec}: vectorized encode speedup {speedup:.2f}x below "
+                f"the {gate}x regression gate")
+        rows.append({
+            "bench": f"encode_{codec}",
+            "field": "x".join(str(s) for s in shape) + " float64",
+            "raw_mb": round(raw_mb, 3),
+            "encode_scalar_mb_per_s": round(raw_mb / scalar_s, 2),
+            "encode_vectorized_mb_per_s": round(raw_mb / vec_s, 2),
+            "encode_speedup": round(speedup, 2),
+            "decode_mb_per_s": round(raw_mb / dec_s, 2),
+            "archive_bytes": len(blob_vec),
+        })
+    return rows
+
+
+def bench_huffman(n_symbols: int, repeats: int) -> dict:
+    """The Huffman bit-packer: repeat-based extraction vs the bit-serial
+    reference, on a zipf-ish symbol stream (deep, uneven code tree)."""
+    rng = np.random.default_rng(3)
+    symbols = rng.zipf(1.3, size=n_symbols).astype(np.int64) % 4096
+    codec = HuffmanCodec()
+    scalar_s, blob_scalar = _best(
+        lambda: codec.encode(symbols, scalar=True), repeats)
+    vec_s, blob_vec = _best(lambda: codec.encode(symbols), repeats)
+    if blob_vec != blob_scalar:
+        raise AssertionError("huffman: vectorized stream differs from the "
+                             "bit-serial reference packer's bytes")
+    dec_s, decoded = _best(lambda: codec.decode(blob_vec), repeats)
+    if not np.array_equal(decoded, symbols):
+        raise AssertionError("huffman: decode does not invert encode")
+    speedup = scalar_s / vec_s
+    if speedup < VEC_SPEEDUP_MIN:
+        raise AssertionError(
+            f"huffman: vectorized encode speedup {speedup:.2f}x below the "
+            f"{VEC_SPEEDUP_MIN}x regression gate")
+    raw_mb = symbols.nbytes / 1e6
+    return {
+        "bench": "encode_huffman",
+        "n_symbols": n_symbols,
+        "encode_scalar_mb_per_s": round(raw_mb / scalar_s, 2),
+        "encode_vectorized_mb_per_s": round(raw_mb / vec_s, 2),
+        "encode_speedup": round(speedup, 2),
+        "decode_mb_per_s": round(raw_mb / dec_s, 2),
+        "stream_bytes": len(blob_vec),
+    }
+
+
+def bench_region_read(grid: dict, repeats: int) -> dict:
+    """Cold multi-tile region read, serial vs ``decode_workers=N`` pooled."""
+    side, tile, workers = grid["side"], grid["tile"], grid["workers"]
+    data = _field((side, side, side))
+    blob = api.compress_chunked(data, codec="szinterp", bound=BOUND,
+                                chunk_shape=(tile, tile, tile))
+    region = tuple(slice(0, side) for _ in range(3))  # every tile
+    want = repro.read_region(blob, region)
+
+    def cold_read(decode_workers: int) -> np.ndarray:
+        # cache_bytes=0: every repeat decodes all tiles — a true cold read.
+        with ArchiveStore(cache_bytes=0) as store:
+            store.add("g", blob)
+            return store.read_region("g", region,
+                                     decode_workers=decode_workers)
+
+    serial_s, got_serial = _best(lambda: cold_read(1), repeats)
+    pooled_s, got_pooled = _best(lambda: cold_read(workers), repeats)
+    for name, got in (("serial", got_serial), ("pooled", got_pooled)):
+        if not np.array_equal(got, want):
+            raise AssertionError(
+                f"{name} store read differs from repro.read_region")
+    if pooled_s > serial_s * THREADED_TOLERANCE:
+        raise AssertionError(
+            f"threaded decode regressed: {pooled_s * 1e3:.1f} ms pooled vs "
+            f"{serial_s * 1e3:.1f} ms serial "
+            f"(tolerance {THREADED_TOLERANCE}x)")
+    n_tiles = repro.read_header(blob).n_tiles
+    return {
+        "bench": "region_read",
+        "field": f"{side}^3 float64, {n_tiles} tiles of {tile}^3",
+        "decode_workers": workers,
+        "serial_read_ms": round(serial_s * 1e3, 2),
+        "pooled_read_ms": round(pooled_s * 1e3, 2),
+        "pooled_speedup": round(serial_s / pooled_s, 2),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="small CI-sized run (byte-identity and "
+                             "regression gates hold in every mode)")
+    parser.add_argument("--out", type=Path, default=None,
+                        help="also write the result rows as JSON "
+                             "(e.g. BENCH_9.json)")
+    args = parser.parse_args(argv)
+    repeats = 2 if args.smoke else 3
+    shape = SMOKE_SHAPE if args.smoke else FULL_SHAPE
+    rows = bench_encoders(shape, repeats)
+    rows.append(bench_huffman(
+        HUFF_SYMBOLS_SMOKE if args.smoke else HUFF_SYMBOLS_FULL, repeats))
+    rows.append(bench_region_read(
+        SMOKE_GRID if args.smoke else FULL_GRID, repeats))
+    for row in rows:
+        print(" ".join(f"{k}={v}" for k, v in row.items()))
+    if args.out is not None:
+        args.out.write_text(json.dumps(rows, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {args.out}")
+    print("vectorized archives byte-identical to scalar references; pooled "
+          "region reads bit-identical to serial; regression gates held")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,13 +7,17 @@ at large error bounds) or by a blockwise linear-regression hyperplane; the
 prediction errors go through linear-scale quantization, Huffman coding and a
 dictionary pass.
 
-The in-block Lorenzo scan is inherently sequential (each point's prediction
-depends on the just-reconstructed neighbours).  The encoder keeps the faithful
-per-element formulation (quantize/feedback makes every point data-dependent —
-see DESIGN.md for the performance note); the decoder, whose data flow is fixed
-once the codes are known, runs as a batched hyperplane sweep across all blocks
-at once (:func:`_lorenzo_decode_blocks`), bit-identical to the scalar
-reference path that ``decompress(..., scalar=True)`` preserves.
+The in-block Lorenzo scan is sequential *along anti-diagonals only*: each
+point's prediction depends on the just-reconstructed neighbours, but every
+point on the hyperplane ``i + j (+ k) = t`` depends only on earlier
+hyperplanes.  Both directions therefore run as batched hyperplane sweeps
+across all blocks at once (:func:`_lorenzo_encode_blocks`,
+:func:`_lorenzo_decode_blocks`): ``O(sum(block_shape))`` vector steps instead
+of one Python iteration per point.  The faithful per-element formulations are
+retained as the scalar reference paths — ``compress(..., scalar=True)`` /
+``decompress(..., scalar=True)`` — and the vectorized paths are proven
+bit-identical to them (and byte-identical at the archive level) by the
+regression suite in ``tests/test_sz21_vectorized.py``.
 """
 
 from __future__ import annotations
@@ -178,6 +182,106 @@ def _lorenzo_decode_blocks(codes: np.ndarray, uvals: np.ndarray, is_unp: np.ndar
     return recon
 
 
+def _lorenzo_predict_blocks(batch: np.ndarray) -> np.ndarray:
+    """Batched :func:`lorenzo_predict` over ``(n_blocks, *block_shape)``.
+
+    Same pad-and-slice expressions (with the batch axis left untouched) in
+    the same order, so each slice equals the per-block result bit-for-bit.
+    """
+    batch = np.asarray(batch, dtype=np.float64)
+    ndim = batch.ndim - 1
+    padded = np.pad(batch, [(0, 0)] + [(1, 0)] * ndim, mode="constant")
+    if ndim == 1:
+        return padded[:, :-1]
+    if ndim == 2:
+        return (padded[:, 1:, :-1] + padded[:, :-1, 1:] - padded[:, :-1, :-1])
+    return (
+        padded[:, :-1, 1:, 1:]
+        + padded[:, 1:, :-1, 1:]
+        + padded[:, 1:, 1:, :-1]
+        - padded[:, :-1, :-1, 1:]
+        - padded[:, :-1, 1:, :-1]
+        - padded[:, 1:, :-1, :-1]
+        + padded[:, :-1, :-1, :-1]
+    )
+
+
+def _lorenzo_encode_blocks(batch: np.ndarray, error_bound: float, num_bins: int
+                           ) -> Tuple[np.ndarray, np.ndarray]:
+    """Hyperplane-vectorized Lorenzo encode of a whole batch of blocks at once.
+
+    The encode counterpart of :func:`_lorenzo_decode_blocks`: quantization
+    feeds the reconstructed value back into the next hyperplane's prediction,
+    but every point on plane ``i + j (+ k) = t`` needs only its own original
+    value and the already-reconstructed earlier planes, so the quantize step
+    batches across all blocks per plane.  Each step evaluates the same
+    expressions in the same order as :func:`_sequential_lorenzo_encode`
+    (``np.rint`` matches Python's banker's-rounding ``round``), so codes and
+    reconstruction are bit-identical to the scalar path (guarded by the
+    regression suite).  Returns ``(codes, recon)``; the unpredictable
+    literals sit in ``recon`` at the positions where ``codes == 0``.
+    """
+    step = 2.0 * error_bound
+    center = num_bins // 2
+    shape = batch.shape[1:]
+    ndim = len(shape)
+    recon = np.zeros(batch.shape, dtype=np.float64)
+    codes = np.zeros(batch.shape, dtype=np.int64)
+
+    def quantize(orig: np.ndarray, pred: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        # ``+ 0.0`` normalizes -0.0 to +0.0, matching the scalar path's
+        # ``int(round(...))`` quantum (a Python int has no signed zero).
+        q = np.rint((orig - pred) / step) + 0.0
+        code = q + center
+        value = pred + step * q
+        ok = (code >= 1.0) & (code < num_bins) & (np.abs(value - orig) <= error_bound)
+        snapped = (np.rint(orig / step) + 0.0) * step
+        snapped = np.where(np.abs(snapped - orig) > error_bound, orig, snapped)
+        # Range-check on the float code before the int cast: a huge quantum
+        # must fail the guard, not wrap around int64 into the valid range.
+        out = np.where(ok, code, float(UNPREDICTABLE_CODE)).astype(np.int64)
+        return out, np.where(ok, value, snapped)
+
+    if ndim == 1:
+        prev = np.zeros(batch.shape[0], dtype=np.float64)
+        for i in range(shape[0]):
+            codes[:, i], val = quantize(batch[:, i], prev)
+            recon[:, i] = val
+            prev = val
+    elif ndim == 2:
+        h, w = shape
+        for t in range(h + w - 1):
+            i = np.arange(max(0, t - w + 1), min(t, h - 1) + 1)
+            j = t - i
+            im = np.maximum(i - 1, 0)
+            jm = np.maximum(j - 1, 0)
+            a = np.where(j > 0, recon[:, i, jm], 0.0)
+            b = np.where(i > 0, recon[:, im, j], 0.0)
+            c = np.where((i > 0) & (j > 0), recon[:, im, jm], 0.0)
+            pred = a + b - c
+            codes[:, i, j], recon[:, i, j] = quantize(batch[:, i, j], pred)
+    else:
+        d1, d2, d3 = shape
+        coords = np.indices(shape).reshape(3, -1)
+        plane_of = coords.sum(axis=0)
+
+        def gather(i, j, k, di, dj, dk):
+            valid = (i >= di) & (j >= dj) & (k >= dk)
+            return np.where(valid, recon[:, np.maximum(i - di, 0),
+                                         np.maximum(j - dj, 0),
+                                         np.maximum(k - dk, 0)], 0.0)
+
+        for t in range(d1 + d2 + d3 - 2):
+            sel = plane_of == t
+            i, j, k = coords[0, sel], coords[1, sel], coords[2, sel]
+            pred = (gather(i, j, k, 0, 0, 1) + gather(i, j, k, 0, 1, 0)
+                    + gather(i, j, k, 1, 0, 0) - gather(i, j, k, 0, 1, 1)
+                    - gather(i, j, k, 1, 0, 1) - gather(i, j, k, 1, 1, 0)
+                    + gather(i, j, k, 1, 1, 1))
+            codes[:, i, j, k], recon[:, i, j, k] = quantize(batch[:, i, j, k], pred)
+    return codes, recon
+
+
 @register_compressor("sz21", aliases=("sz2.1", "sz"),
                      description="SZ2.1-style blockwise Lorenzo + regression predictor")
 class SZ21Compressor(Compressor):
@@ -186,11 +290,15 @@ class SZ21Compressor(Compressor):
     name = "SZ2.1"
 
     def __init__(self, block_size_2d: int = 16, block_size_3d: int = 8,
-                 num_bins: int = 65536, lossless_backend: str = "zlib"):
+                 num_bins: int = 65536, lossless_backend: str = "zlib",
+                 scalar: bool = False):
         self.block_size_2d = int(block_size_2d)
         self.block_size_3d = int(block_size_3d)
         self.num_bins = int(num_bins)
         self.lossless_backend = str(lossless_backend)
+        # Encode-path selector only — never archived: both paths produce
+        # byte-identical payloads, so the flag must not alter archive bytes.
+        self.scalar = bool(scalar)
         self._entropy = EntropyCodec(backend=get_backend(lossless_backend))
         self._backend = get_backend(lossless_backend)
         self._regression = LinearRegressionPredictor()
@@ -205,22 +313,35 @@ class SZ21Compressor(Compressor):
         return self.block_size_2d
 
     # ----------------------------------------------------------------- compress
-    def compress(self, data: np.ndarray, rel_error_bound: float) -> bytes:
-        ensure_positive(rel_error_bound, "rel_error_bound")
-        data = ensure_float_array(data, "data")
-        vrange = value_range(data)
-        abs_eb = rel_error_bound * vrange if vrange > 0 else rel_error_bound
+    def _fit_regressions(self, blocks: np.ndarray, abs_eb: float
+                         ) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-block hyperplane fits: ``(predictions, coefficient rows)``.
 
-        blocks, grid = split_into_blocks(data, self._block_size(data.ndim))
+        The least-squares solve stays a per-block loop — batching LAPACK's
+        SVD is not bit-stable — but it is cheap once the design matrix is
+        memoized; everything downstream of it is batched.
+        """
         n_blocks = blocks.shape[0]
-        block_axes = tuple(range(1, blocks.ndim))
+        reg_preds = np.empty(blocks.shape, dtype=np.float64)
+        coef_rows = np.empty((n_blocks, blocks.ndim), dtype=np.float64)
+        for b in range(n_blocks):
+            reg_preds[b], coef = self._regression.fit_predict(blocks[b], abs_eb)
+            coef_rows[b] = np.asarray(coef.values, dtype=np.float64)
+        return reg_preds, coef_rows
 
+    def _encode_blocks_scalar(self, blocks: np.ndarray, abs_eb: float
+                              ) -> Tuple[np.ndarray, np.ndarray, np.ndarray,
+                                         Optional[np.ndarray]]:
+        """Per-element reference encode (the original SZ2.1 formulation)."""
+        from repro.quantization.linear import quantize_prediction_errors
+
+        n_blocks = blocks.shape[0]
         flags = np.zeros(n_blocks, dtype=np.uint8)
         all_codes: List[np.ndarray] = []
         all_unpred: List[float] = []
         reg_coefs: List[np.ndarray] = []
 
-        # Pre-compute selection losses (on original data, as SZ2.1's sampling does).
+        # Selection losses are computed on original data, as SZ2.1's sampling does.
         for b in range(n_blocks):
             block = blocks[b]
             reg_pred, coef = self._regression.fit_predict(block, abs_eb)
@@ -228,8 +349,6 @@ class SZ21Compressor(Compressor):
             lor_loss = np.abs(block - lorenzo_predict(block)).mean()
             if reg_loss < lor_loss:
                 flags[b] = FLAG_REGRESSION
-                from repro.quantization.linear import quantize_prediction_errors
-
                 qr = quantize_prediction_errors(block, reg_pred, abs_eb, self.num_bins)
                 all_codes.append(qr.codes.ravel())
                 all_unpred.extend(qr.unpredictable.tolist())
@@ -241,6 +360,71 @@ class SZ21Compressor(Compressor):
                 all_unpred.extend(unpred)
 
         codes = np.concatenate(all_codes) if all_codes else np.zeros(0, dtype=np.int64)
+        unpred_arr = np.asarray(all_unpred, dtype=np.float64)
+        coefs = np.concatenate(reg_coefs) if reg_coefs else None
+        return flags, codes, unpred_arr, coefs
+
+    def _encode_blocks(self, blocks: np.ndarray, abs_eb: float
+                       ) -> Tuple[np.ndarray, np.ndarray, np.ndarray,
+                                  Optional[np.ndarray]]:
+        """Vectorized encode: batched selection, quantization and Lorenzo sweep.
+
+        Bit-identical to :meth:`_encode_blocks_scalar` — same per-point
+        arithmetic in the same order, with the unpredictable-literal stream
+        recovered from the batched reconstruction in C order (which equals the
+        scalar path's block-by-block append order).
+        """
+        from repro.quantization.linear import quantize_prediction_errors
+
+        n_blocks = blocks.shape[0]
+        flags = np.zeros(n_blocks, dtype=np.uint8)
+        if n_blocks == 0:
+            return flags, np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.float64), None
+
+        reg_preds, coef_rows = self._fit_regressions(blocks, abs_eb)
+        reg_loss = np.abs(blocks - reg_preds).reshape(n_blocks, -1).mean(axis=1)
+        lor_loss = np.abs(blocks - _lorenzo_predict_blocks(blocks)).reshape(
+            n_blocks, -1).mean(axis=1)
+        flags[reg_loss < lor_loss] = FLAG_REGRESSION
+        reg_idx = np.flatnonzero(flags == FLAG_REGRESSION)
+        lor_idx = np.flatnonzero(flags == FLAG_LORENZO)
+
+        codes_all = np.empty(blocks.shape, dtype=np.int64)
+        recon_all = np.empty(blocks.shape, dtype=np.float64)
+        if reg_idx.size:
+            qr = quantize_prediction_errors(blocks[reg_idx], reg_preds[reg_idx],
+                                            abs_eb, self.num_bins)
+            codes_all[reg_idx] = qr.codes
+            scatter = np.zeros(qr.codes.shape, dtype=np.float64)
+            scatter[qr.codes == UNPREDICTABLE_CODE] = qr.unpredictable
+            recon_all[reg_idx] = scatter
+        if lor_idx.size:
+            codes_l, recon_l = _lorenzo_encode_blocks(blocks[lor_idx], abs_eb,
+                                                      self.num_bins)
+            codes_all[lor_idx] = codes_l
+            recon_all[lor_idx] = recon_l
+
+        codes = codes_all.reshape(-1)
+        unpred_arr = recon_all[codes_all == UNPREDICTABLE_CODE]
+        coefs = coef_rows[reg_idx].ravel() if reg_idx.size else None
+        return flags, codes, unpred_arr, coefs
+
+    def compress(self, data: np.ndarray, rel_error_bound: float,
+                 scalar: Optional[bool] = None) -> bytes:
+        """Encode ``data``; ``scalar=True`` forces the per-element reference
+        encoder (byte-identical to the default vectorized one — kept for the
+        regression suite and as executable documentation of the scan order).
+        ``scalar=None`` defers to the constructor's ``scalar`` flag."""
+        ensure_positive(rel_error_bound, "rel_error_bound")
+        data = ensure_float_array(data, "data")
+        vrange = value_range(data)
+        abs_eb = rel_error_bound * vrange if vrange > 0 else rel_error_bound
+
+        blocks, grid = split_into_blocks(data, self._block_size(data.ndim))
+        use_scalar = self.scalar if scalar is None else bool(scalar)
+        encode = self._encode_blocks_scalar if use_scalar else self._encode_blocks
+        flags, codes, unpred_arr, coefs = encode(blocks, abs_eb)
+
         container = ByteContainer()
         container.put_json("meta", {
             "grid": grid.to_dict(),
@@ -250,11 +434,10 @@ class SZ21Compressor(Compressor):
         })
         container["flags"] = self._entropy.encode(flags.astype(np.int64))
         container["codes"] = self._entropy.encode(codes)
-        container["unpred"] = self._backend.compress(
-            np.asarray(all_unpred, dtype=np.float64).tobytes())
-        if reg_coefs:
+        container["unpred"] = self._backend.compress(unpred_arr.tobytes())
+        if coefs is not None:
             container["coefs"] = self._backend.compress(
-                np.concatenate(reg_coefs).astype(np.float64).tobytes())
+                coefs.astype(np.float64).tobytes())
         return container.to_bytes()
 
     # --------------------------------------------------------------- decompress

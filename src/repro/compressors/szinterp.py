@@ -9,6 +9,8 @@ stream format.
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
 from repro.compressors.base import Compressor
@@ -18,6 +20,7 @@ from repro.encoding.lossless import get_backend
 from repro.predictors.interpolation import (
     multilevel_interpolation_decode,
     multilevel_interpolation_encode,
+    multilevel_interpolation_encode_scalar,
 )
 from repro.registry import register_compressor
 from repro.utils.validation import ensure_float_array, ensure_positive, value_range
@@ -30,22 +33,33 @@ class SZInterpCompressor(Compressor):
 
     name = "SZinterp"
 
-    def __init__(self, num_bins: int = 65536, lossless_backend: str = "zlib"):
+    def __init__(self, num_bins: int = 65536, lossless_backend: str = "zlib",
+                 scalar: bool = False):
         self.num_bins = int(num_bins)
         self.lossless_backend = str(lossless_backend)
+        # Encode-path selector only — never archived: both paths produce
+        # byte-identical payloads, so the flag must not alter archive bytes.
+        self.scalar = bool(scalar)
         self._entropy = EntropyCodec(backend=get_backend(lossless_backend))
         self._backend = get_backend(lossless_backend)
 
     def archive_options(self) -> dict:
         return {"num_bins": self.num_bins, "lossless_backend": self.lossless_backend}
 
-    def compress(self, data: np.ndarray, rel_error_bound: float) -> bytes:
+    def compress(self, data: np.ndarray, rel_error_bound: float,
+                 scalar: Optional[bool] = None) -> bytes:
+        """Encode ``data``; ``scalar=True`` forces the per-point reference
+        encoder (byte-identical to the default vectorized one).  ``None``
+        defers to the constructor's ``scalar`` flag."""
         ensure_positive(rel_error_bound, "rel_error_bound")
         data = ensure_float_array(data, "data")
         vrange = value_range(data)
         abs_eb = rel_error_bound * vrange if vrange > 0 else rel_error_bound
 
-        enc = multilevel_interpolation_encode(data, abs_eb, self.num_bins)
+        use_scalar = self.scalar if scalar is None else bool(scalar)
+        encode = (multilevel_interpolation_encode_scalar if use_scalar
+                  else multilevel_interpolation_encode)
+        enc = encode(data, abs_eb, self.num_bins)
         anchor_offset = int(enc.anchor_codes.min()) if enc.anchor_codes.size else 0
 
         container = ByteContainer()

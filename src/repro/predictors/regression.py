@@ -10,6 +10,7 @@ in the prediction-error comparison of Fig. 7.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Optional, Sequence, Tuple
 
 import numpy as np
@@ -36,11 +37,23 @@ class RegressionCoefficients:
         return RegressionCoefficients(values=q)
 
 
-def _design_matrix(shape: Sequence[int]) -> np.ndarray:
-    """Design matrix [1, i, j, k] for every point of a block (row-major order)."""
+@lru_cache(maxsize=64)
+def _design_matrix_cached(shape: Tuple[int, ...]) -> np.ndarray:
     grids = np.meshgrid(*[np.arange(s, dtype=np.float64) for s in shape], indexing="ij")
     cols = [np.ones(int(np.prod(shape)))] + [g.ravel() for g in grids]
-    return np.stack(cols, axis=1)
+    out = np.stack(cols, axis=1)
+    out.setflags(write=False)  # cached and shared: callers must not mutate
+    return out
+
+
+def _design_matrix(shape: Sequence[int]) -> np.ndarray:
+    """Design matrix [1, i, j, k] for every point of a block (row-major order).
+
+    A pure function of ``shape``, so it is memoized — blockwise encoders call
+    it once per block with only a handful of distinct shapes.  The returned
+    array is read-only.
+    """
+    return _design_matrix_cached(tuple(int(s) for s in shape))
 
 
 class LinearRegressionPredictor:

@@ -25,6 +25,7 @@ import hashlib
 import os
 import threading
 import zlib
+from concurrent.futures import ThreadPoolExecutor
 from typing import (Any, Dict, List, NamedTuple, Optional, Sequence, Tuple,
                     Union)
 
@@ -453,7 +454,8 @@ class ArchiveStore:
 
     # ----------------------------------------------------------------- reads
     def read_region(self, key: str, region, *,
-                    out: Optional[np.ndarray] = None) -> np.ndarray:
+                    out: Optional[np.ndarray] = None,
+                    decode_workers: int = 1) -> np.ndarray:
         """Decode ``region`` of archive ``key`` — the cached ``read_region``.
 
         Same semantics (and bit-identical results) as
@@ -462,11 +464,18 @@ class ArchiveStore:
         ``out`` gathers into a preallocated region-shaped array.  Tiles come
         from the shared cache when warm; cold tiles are read positionally,
         CRC-checked and decoded at most once across all concurrent callers.
+
+        ``decode_workers > 1`` decodes this region's independent tiles on a
+        bounded thread pool (zlib/NumPy release the GIL); results, cache
+        traffic, counters and failure behaviour are identical to the serial
+        default — only the cold-path wall clock changes.
         """
-        return self.read_region_with_info(key, region, out=out)[0]
+        return self.read_region_with_info(key, region, out=out,
+                                          decode_workers=decode_workers)[0]
 
     def read_region_with_info(self, key: str, region, *,
-                              out: Optional[np.ndarray] = None
+                              out: Optional[np.ndarray] = None,
+                              decode_workers: int = 1
                               ) -> Tuple[np.ndarray, ReadInfo]:
         """:meth:`read_region` plus the metadata of the entry actually read.
 
@@ -481,23 +490,28 @@ class ArchiveStore:
             bounds = self._bounds(entry, region)
             with self._stats_lock:
                 self._region_reads += 1
-            arr = self._gather(entry, bounds, out)
+            arr = self._gather(entry, bounds, out, decode_workers)
             return arr, ReadInfo(entry.index, entry.generation, entry.etag,
                                  bounds)
         finally:
             entry.unpin()
 
-    def read_regions(self, key: str, regions: Sequence) -> List[np.ndarray]:
+    def read_regions(self, key: str, regions: Sequence, *,
+                     decode_workers: int = 1) -> List[np.ndarray]:
         """Decode a batch of regions of one archive with deduped tile fetches.
 
         Tiles shared by several regions are decoded (or cache-fetched) once
         and cropped into every requesting region — the per-tile work is
         O(distinct tiles of the union), not O(sum over regions).  Returns one
-        region-shaped array per input region, in order.
+        region-shaped array per input region, in order.  ``decode_workers``
+        fans the union's distinct tiles out over a thread pool exactly as in
+        :meth:`read_region`.
         """
-        return self.read_regions_with_info(key, regions)[0]
+        return self.read_regions_with_info(key, regions,
+                                           decode_workers=decode_workers)[0]
 
-    def read_regions_with_info(self, key: str, regions: Sequence
+    def read_regions_with_info(self, key: str, regions: Sequence, *,
+                               decode_workers: int = 1
                                ) -> Tuple[List[np.ndarray], List[ReadInfo]]:
         """:meth:`read_regions` plus one :class:`ReadInfo` per region.
 
@@ -517,8 +531,11 @@ class ArchiveStore:
             for j, bounds in enumerate(bounds_list):
                 for i in entry.region_tiles(bounds):
                     wanted.setdefault(i, []).append(j)
+            prefetched = self._prefetch_tiles(entry, list(wanted),
+                                              decode_workers)
             for i, readers in wanted.items():
-                tile = self._tile(entry, i)
+                tile = (prefetched[i] if prefetched is not None
+                        else self._tile(entry, i))
                 for j in readers:
                     results[j] = self._place(results[j], bounds_list[j],
                                              entry, i, tile)
@@ -596,16 +613,56 @@ class ArchiveStore:
         result[local] = piece
         return result
 
+    def _prefetch_tiles(self, entry: _Entry, tile_ids: Sequence[int],
+                        decode_workers: int) -> Optional[Dict[int, np.ndarray]]:
+        """Decode ``tile_ids`` concurrently through the shared cache.
+
+        Returns ``None`` on the serial path (``decode_workers == 1`` or fewer
+        than two tiles), leaving the caller's inline ``_tile`` loop — the
+        pre-``decode_workers`` code path — untouched.  Otherwise every tile
+        goes through exactly one :meth:`_tile` call on a bounded pool: the
+        same cache traffic, single-flight coalescing and ``tile_decodes``
+        accounting as the serial loop, overlapped because zlib and NumPy
+        release the GIL during decode.  Placement stays serial in the caller
+        (it is order-dependent: a wide tile may widen the result dtype).  If
+        any tile fails, the earliest failing tile in ``tile_ids`` order
+        raises — the exception the serial loop would have surfaced.
+        """
+        decode_workers = int(decode_workers)
+        if decode_workers < 1:
+            raise ValueError("decode_workers must be >= 1")
+        if decode_workers == 1 or len(tile_ids) <= 1:
+            return None
+        results: Dict[int, np.ndarray] = {}
+        failures: Dict[int, BaseException] = {}
+        with ThreadPoolExecutor(
+                max_workers=min(decode_workers, len(tile_ids)),
+                thread_name_prefix="repro-tile-decode") as pool:
+            futures = [(i, pool.submit(self._tile, entry, i))
+                       for i in tile_ids]
+            for i, fut in futures:
+                try:
+                    results[i] = fut.result()
+                except BaseException as exc:  # re-raised below, in tile order
+                    failures[i] = exc
+        for i in tile_ids:
+            if i in failures:
+                raise failures[i]
+        return results
+
     def _gather(self, entry: _Entry, bounds,
-                out: Optional[np.ndarray]) -> np.ndarray:
+                out: Optional[np.ndarray],
+                decode_workers: int = 1) -> np.ndarray:
         region_shape = tuple(b1 - b0 for b0, b1 in bounds)
         if out is not None and tuple(out.shape) != region_shape:
             raise ValueError(
                 f"out has shape {tuple(out.shape)}, region shape is "
                 f"{region_shape}")
         result = out
-        for i in entry.region_tiles(bounds):
-            tile = self._tile(entry, i)
+        tiles = entry.region_tiles(bounds)
+        prefetched = self._prefetch_tiles(entry, tiles, decode_workers)
+        for i in tiles:
+            tile = prefetched[i] if prefetched is not None else self._tile(entry, i)
             if out is not None:
                 local, inner = tile_crop(bounds, entry.tile_slices(i))
                 _store_chunk(out, local, tile[inner])

@@ -122,21 +122,23 @@ def main() -> int:
     print(f"chunked_sz21_rel: {len(blob)} bytes "
           f"({repro.read_header(blob).n_chunks} chunks)")
 
-    # A grid (version-3) golden: a 2x2x2 tile grid over the 3-d input, so the
-    # random-access region-decode path has a pinned byte layout too.
+    # Grid (version-3) goldens: a 2x2x2 tile grid over the 3-d input, so the
+    # random-access region-decode path has a pinned byte layout too — one per
+    # tile codec whose payload format the store depends on.
     data = inputs["input_3d"]
-    blob = compress_chunked(data, codec="sz21", bound=Rel(1e-2),
-                            chunk_shape=(4, 4, 4))
-    recon = repro.decompress(blob)
-    (HERE / "grid_sz21_rel.rpra").write_bytes(blob)
-    np.save(HERE / "grid_sz21_rel.expected.npy", recon)
-    manifest.append({
-        "file": "grid_sz21_rel.rpra", "input": "input_3d", "codec": "sz21",
-        "bound_mode": "rel", "bound_value": 1e-2, "bitwise": True, "chunked": True,
-        "version": 3, "embed_model": True,
-    })
-    print(f"grid_sz21_rel: {len(blob)} bytes "
-          f"({repro.read_header(blob).n_tiles} tiles)")
+    for grid_codec in ("sz21", "szinterp"):
+        blob = compress_chunked(data, codec=grid_codec, bound=Rel(1e-2),
+                                chunk_shape=(4, 4, 4))
+        recon = repro.decompress(blob)
+        (HERE / f"grid_{grid_codec}_rel.rpra").write_bytes(blob)
+        np.save(HERE / f"grid_{grid_codec}_rel.expected.npy", recon)
+        manifest.append({
+            "file": f"grid_{grid_codec}_rel.rpra", "input": "input_3d",
+            "codec": grid_codec, "bound_mode": "rel", "bound_value": 1e-2,
+            "bitwise": True, "chunked": True, "version": 3, "embed_model": True,
+        })
+        print(f"grid_{grid_codec}_rel: {len(blob)} bytes "
+              f"({repro.read_header(blob).n_tiles} tiles)")
 
     (HERE / "manifest.json").write_text(json.dumps(manifest, indent=2) + "\n")
     print(f"wrote {len(manifest)} fixtures + manifest to {HERE}")

@@ -82,6 +82,42 @@ def test_golden_archive_decodes(entry):
                       <= entry["bound_value"] * np.abs(original) * (1 + 1e-9))
 
 
+VECTORIZED = [e for e in MANIFEST if e["codec"] in ("sz21", "szinterp")]
+
+
+@pytest.mark.parametrize("entry", VECTORIZED, ids=[e["file"] for e in VECTORIZED])
+@pytest.mark.parametrize("scalar", [False, True], ids=["vectorized", "scalar"])
+def test_golden_reencodes_byte_identical(entry, scalar):
+    """Today's encoders must *reproduce* the committed archives, not merely
+    decode them: the vectorized sz21/szinterp encode paths (and their scalar
+    references) are pinned to the exact bytes written at fixture time, so an
+    encode-path change that drifts the format fails here before it ships."""
+    from repro import Abs, PtwRel, Rel
+    from repro.api import compress_chunked
+
+    blob = (GOLDEN / entry["file"]).read_bytes()
+    data = np.load(GOLDEN / f"{entry['input']}.npy")
+    bound = {"rel": Rel, "abs": Abs,
+             "ptw_rel": PtwRel}[entry["bound_mode"]](entry["bound_value"])
+    opts = {"scalar": True} if scalar else None
+    header = repro.read_header(blob)
+    if not entry["chunked"]:
+        again = repro.compress(data, entry["codec"], bound, codec_options=opts)
+    elif entry.get("version") == 3:
+        again = compress_chunked(data, codec=entry["codec"], bound=bound,
+                                 chunk_shape=header.chunk_shape,
+                                 codec_options=opts)
+    else:  # version-2: chunk_size in elements, starts[] in leading-axis rows
+        rows = header.starts[1] - header.starts[0]
+        again = compress_chunked(data, codec=entry["codec"], bound=bound,
+                                 chunk_size=rows * int(np.prod(data.shape[1:])),
+                                 codec_options=opts)
+    assert again == blob, (
+        f"{entry['file']}: re-encoding the golden input no longer reproduces "
+        f"the committed archive bytes ({'scalar' if scalar else 'vectorized'} "
+        f"encode path)")
+
+
 def test_manifest_covers_every_codec():
     """Every registered codec has at least one golden archive."""
     from repro.registry import available_compressors

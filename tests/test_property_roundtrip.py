@@ -125,6 +125,25 @@ def test_roundtrip_property(codec, draw):
         assert np.array_equal(np.asarray(data), recon), codec
 
 
+@pytest.mark.parametrize("codec", ["sz21", "szinterp"])
+@pytest.mark.parametrize("draw", range(N_DRAWS))
+def test_vectorized_encode_archive_equality_property(codec, draw):
+    """Invariant crossing the vectorized encode paths: for any drawn field,
+    shape and bound, the vectorized encoder's archive is byte-identical to
+    the scalar reference encoder's (``codec_options={'scalar': True}``)."""
+    codec_key = sum(codec.encode())  # stable across processes, unlike hash()
+    rng = np.random.default_rng([PROPERTY_SEED, 0xE, codec_key, draw])
+    data = _draw_array(rng, ndim_choices=(1, 2, 3))
+    bound = _draw_bound(rng, data)
+    fast = repro.compress(data, codec=codec, bound=bound)
+    slow = repro.compress(data, codec=codec, bound=bound,
+                          codec_options={"scalar": True})
+    assert fast == slow, (codec, data.shape, bound)
+    recon_fast, recon_slow = repro.decompress(fast), repro.decompress(slow)
+    assert np.array_equal(recon_fast, recon_slow, equal_nan=True), codec
+    _assert_bound(data, recon_fast, bound, codec)
+
+
 @pytest.mark.parametrize("draw", range(N_DRAWS))
 def test_chunked_roundtrip_property(draw):
     """Chunked archives obey the same bound and header contract (serial: the

@@ -458,3 +458,155 @@ class TestConcurrencyStress:
                 for f in futures:
                     f.result(timeout=120)
             assert store.keys() == ("extra0", "extra1", "extra2", "k0")
+
+
+# ---------------------------------------------------------------------------
+# Threaded in-store tile decode (read_region(decode_workers=N))
+# ---------------------------------------------------------------------------
+
+class TestThreadedDecode:
+    """``decode_workers > 1`` fans independent tile decodes over a bounded
+    pool; everything observable — bytes, dtype, counters, failure scope —
+    must match the serial path exactly."""
+
+    def test_workers_bit_identical_and_single_decode(self, grid_path):
+        cold = [repro.read_region(grid_path, r) for r in REGIONS]
+        for workers in (2, 4, 7):
+            with ArchiveStore() as store:
+                store.add("g", grid_path)
+                for j, region in enumerate(REGIONS):
+                    got = store.read_region("g", region,
+                                            decode_workers=workers)
+                    assert got.dtype == cold[j].dtype
+                    assert np.array_equal(got, cold[j]), (workers, region)
+                stats = store.stats()
+                # Single-flight holds under the pool: the 27-tile sweep
+                # decodes each distinct tile exactly once per residency.
+                assert stats["evictions"] == 0
+                assert stats["tile_decodes"] == len(
+                    _distinct_tiles(grid_path, REGIONS))
+                assert stats["region_reads"] == len(REGIONS)
+
+    def test_batched_and_out_paths_with_workers(self, grid_path):
+        cold = [repro.read_region(grid_path, r) for r in REGIONS]
+        with ArchiveStore() as store:
+            store.add("g", grid_path)
+            results = store.read_regions("g", list(REGIONS), decode_workers=4)
+            for want, got in zip(cold, results):
+                assert np.array_equal(got, want)
+            assert store.stats()["tile_decodes"] == len(
+                _distinct_tiles(grid_path, REGIONS))
+            out = np.empty(cold[0].shape, dtype=cold[0].dtype)
+            assert store.read_region("g", REGIONS[0], out=out,
+                                     decode_workers=3) is out
+            assert np.array_equal(out, cold[0])
+
+    def test_invalid_worker_count_rejected(self, grid_path):
+        with ArchiveStore() as store:
+            store.add("g", grid_path)
+            with pytest.raises(ValueError, match="decode_workers"):
+                store.read_region("g", REGIONS[0], decode_workers=0)
+            with pytest.raises(ValueError, match="decode_workers"):
+                store.read_regions("g", [REGIONS[1]], decode_workers=-1)
+
+    def test_hammering_threads_each_with_worker_pools(self, grid_path):
+        """N caller threads x per-call decode pools: nested parallelism is
+        the worst case for the single-flight cache — decode counts must
+        still collapse to one per distinct tile."""
+        cold = [repro.read_region(grid_path, r) for r in REGIONS]
+        with ArchiveStore() as store:
+            store.add("g", grid_path)
+            errors = []
+
+            def worker(k: int):
+                try:
+                    for round_ in range(2):
+                        for j, region in enumerate(REGIONS):
+                            workers = 1 + (k + j + round_) % 4
+                            got = store.read_region(
+                                "g", region, decode_workers=workers)
+                            if not np.array_equal(got, cold[j]):
+                                errors.append(
+                                    f"thread {k} region {j} diverged")
+                except Exception as exc:  # noqa: BLE001 - surfaced below
+                    errors.append(f"thread {k} raised {exc!r}")
+
+            threads = [threading.Thread(target=worker, args=(k,))
+                       for k in range(6)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=120)
+                assert not t.is_alive(), "threaded-decode worker deadlocked"
+            assert not errors, errors
+            stats = store.stats()
+            assert stats["evictions"] == 0
+            assert stats["tile_decodes"] == len(
+                _distinct_tiles(grid_path, REGIONS))
+            assert stats["region_reads"] == 6 * 2 * len(REGIONS)
+
+    def _corrupt_tile(self, path: str, tile: int):
+        """Flip one byte inside tile ``tile``'s blob; return its slices."""
+        index = repro.read_header(path)
+        offset = (index.data_start + index.offsets[tile]
+                  + index.lengths[tile] // 2)
+        with open(path, "r+b") as f:
+            f.seek(offset)
+            byte = f.read(1)
+            f.seek(offset)
+            f.write(bytes([byte[0] ^ 0xFF]))
+        return index.tile_slices(tile)
+
+    def test_corrupt_tile_failure_scoped_under_workers(self, grid_path):
+        victim = 13  # the interior (1,1,1) tile
+        self._corrupt_tile(grid_path, victim)
+        whole = (slice(0, SIDE), slice(0, SIDE), slice(0, SIDE))
+        good = (slice(0, 8), slice(0, 8), slice(0, 8))
+        with ArchiveStore() as store:
+            store.add("g", grid_path)
+            # A pooled multi-tile read crossing the victim raises the same
+            # scoped error as the serial path...
+            with pytest.raises(ValueError, match="checksum mismatch"):
+                store.read_region("g", whole, decode_workers=4)
+            # ...the failure is not cached (it fails again, identically)...
+            with pytest.raises(ValueError, match="checksum mismatch"):
+                store.read_region("g", whole, decode_workers=4)
+            # ...and regions avoiding the victim keep serving bit-identical
+            # results, including the healthy siblings decoded by the failed
+            # pooled read (now cache-resident).
+            assert np.array_equal(
+                store.read_region("g", good, decode_workers=4),
+                repro.read_region(grid_path, good))
+            for region in REGIONS[:1] + REGIONS[3:]:
+                if victim in _distinct_tiles(grid_path, [region]):
+                    continue
+                assert np.array_equal(
+                    store.read_region("g", region, decode_workers=3),
+                    repro.read_region(grid_path, region)), region
+
+    def test_earliest_failing_tile_raised_deterministically(self, grid_path):
+        """With several corrupt tiles in one pooled read, the error raised is
+        the lowest-numbered failing tile's — same as serial iteration."""
+        slices_a = self._corrupt_tile(grid_path, 4)
+        self._corrupt_tile(grid_path, 22)
+        whole = (slice(0, SIDE), slice(0, SIDE), slice(0, SIDE))
+        serial_msg = pooled_msg = None
+        with ArchiveStore() as store:
+            store.add("g", grid_path)
+            try:
+                store.read_region("g", whole)
+            except ValueError as exc:
+                serial_msg = str(exc)
+        with ArchiveStore() as store:
+            store.add("g", grid_path)
+            for _ in range(3):  # pool scheduling must not reorder the raise
+                try:
+                    store.read_region("g", whole, decode_workers=4)
+                except ValueError as exc:
+                    pooled_msg = str(exc)
+                assert pooled_msg == serial_msg
+            # Tile 4's region is the one that fails on a direct read too.
+            with pytest.raises(ValueError, match="checksum mismatch"):
+                store.read_region("g", tuple(
+                    slice(s.start + 1, s.stop - 1) for s in slices_a),
+                    decode_workers=2)

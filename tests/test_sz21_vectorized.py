@@ -1,11 +1,14 @@
-"""Bit-exactness regression: sz21's hyperplane-vectorized Lorenzo decode.
+"""Bit-exactness regression: sz21/szinterp/Huffman vectorized hot paths.
 
-The per-element ``np.ndindex`` decode loop was replaced by a batched
-hyperplane pass (`_lorenzo_decode_blocks`).  The scalar path is kept as the
-reference formulation; these tests pin the vectorized path to it **bit for
-bit** (uint64 view comparison, not allclose) at both the block level and the
-full-payload level, across dimensionalities, odd shapes and unpredictable
-densities.
+The per-element ``np.ndindex`` loops were replaced by batched hyperplane
+passes on both directions (`_lorenzo_decode_blocks` / `_lorenzo_encode_blocks`),
+szinterp's per-point reference encoder mirrors its vectorized passes, and the
+Huffman encoder's bit-plane loop became one ``repeat``-based extraction.  The
+scalar paths are kept as the reference formulations; these tests pin every
+vectorized path to its reference **bit for bit** (uint64 view comparison or
+byte equality, not allclose) at the kernel level, the payload level and the
+archive level, across dimensionalities, ragged block edges, constant and
+extreme-range fields, and all three bound modes.
 """
 
 from __future__ import annotations
@@ -13,12 +16,23 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+import repro
+from repro.bounds import Abs, PtwRel, Rel
 from repro.compressors.sz21 import (
     SZ21Compressor,
     _lorenzo_decode_blocks,
+    _lorenzo_encode_blocks,
+    _lorenzo_predict_blocks,
     _sequential_lorenzo_decode,
     _sequential_lorenzo_encode,
 )
+from repro.compressors.szinterp import SZInterpCompressor
+from repro.encoding.huffman import HuffmanCodec, _pack_codes, _pack_codes_scalar
+from repro.predictors.interpolation import (
+    multilevel_interpolation_encode,
+    multilevel_interpolation_encode_scalar,
+)
+from repro.predictors.lorenzo import lorenzo_predict
 from repro.quantization.linear import UNPREDICTABLE_CODE
 
 
@@ -121,3 +135,200 @@ def test_truncated_coefficient_stream_raises():
     container["coefs"] = comp._backend.compress(coefs[:-1].tobytes())
     with pytest.raises(ValueError, match="corrupt payload: regression coefficient"):
         comp.decompress(container.to_bytes())
+
+
+# ---------------------------------------------------------------------------
+# Encode side: vectorized sz21 encode vs the scalar reference
+# ---------------------------------------------------------------------------
+
+def _field(shape, kind: str, rng: np.random.Generator) -> np.ndarray:
+    """Test fields spanning the encoder's regimes."""
+    if kind == "smooth":  # Lorenzo-friendly: cumsum of white noise
+        return rng.standard_normal(shape).cumsum(axis=0)
+    if kind == "linear":  # regression-friendly: a noisy hyperplane
+        out = np.zeros(shape)
+        for axis, n in enumerate(shape):
+            ramp = np.linspace(0.0, 3.0 * (axis + 1), n)
+            out = out + ramp.reshape([-1 if a == axis else 1
+                                      for a in range(len(shape))])
+        return out + 0.01 * rng.standard_normal(shape)
+    if kind == "noise":  # unpredictable-heavy
+        return rng.standard_normal(shape) * 1e6
+    if kind == "constant":
+        return np.full(shape, -2.625)
+    if kind == "extreme":  # magnitudes at the edge of the float64 range
+        return rng.standard_normal(shape) * 1e154
+    raise AssertionError(kind)
+
+
+@pytest.mark.parametrize("shape,num_bins", [
+    ((16,), 65536), ((16,), 8),
+    ((16, 16), 65536), ((16, 16), 8),
+    ((8, 8, 8), 65536), ((8, 8, 8), 8),
+    ((5,), 16), ((3, 7), 16), ((2, 3, 5), 16), ((1, 1), 16), ((1, 1, 1), 65536),
+])
+def test_block_encode_bit_exact(shape, num_bins):
+    """`_lorenzo_encode_blocks` == the sequential scan: codes, reconstruction
+    and the unpredictable-literal stream, bit for bit."""
+    rng = np.random.default_rng(sum(shape) * num_bins % 991)
+    error_bound = 0.01
+    blocks = np.stack([rng.standard_normal(shape).cumsum(axis=0) * scale
+                       for scale in (1.0, 3.0, 0.25, 10.0)])
+    codes_vec, recon_vec = _lorenzo_encode_blocks(blocks, error_bound, num_bins)
+    ref = [_sequential_lorenzo_encode(b, error_bound, num_bins) for b in blocks]
+    assert np.array_equal(codes_vec, np.stack([r[0] for r in ref]))
+    assert _bitwise_equal(recon_vec, np.stack([r[2] for r in ref]))
+    # Literal extraction in C order equals the scalar per-block append order.
+    lit_vec = recon_vec[codes_vec == UNPREDICTABLE_CODE]
+    lit_ref = np.asarray([v for r in ref for v in r[1]], dtype=np.float64)
+    assert _bitwise_equal(lit_vec, lit_ref)
+
+
+def test_batched_lorenzo_predict_bit_exact():
+    rng = np.random.default_rng(17)
+    for shape in [(16,), (16, 16), (8, 8, 8), (1, 1), (3, 5, 7)]:
+        batch = rng.standard_normal((6,) + shape).cumsum(axis=0)
+        ref = np.stack([lorenzo_predict(b) for b in batch])
+        assert _bitwise_equal(_lorenzo_predict_blocks(batch), ref)
+
+
+@pytest.mark.parametrize("shape", [
+    (200,), (96, 128), (33, 17),   # ragged 2-d edges (block size 16)
+    (24, 24, 24), (7, 11, 13),     # ragged 3-d edges (block size 8)
+    (1,), (1, 1), (1, 1, 1),
+])
+@pytest.mark.parametrize("kind", ["smooth", "linear", "noise", "constant", "extreme"])
+def test_payload_encode_byte_identical(shape, kind):
+    """`compress()` == `compress(scalar=True)` byte for byte: the scalar path
+    is the pre-vectorization encoder verbatim, so this also pins the archive
+    format against drift."""
+    rng = np.random.default_rng(abs(hash((shape, kind))) % (2**32))
+    data = _field(shape, kind, rng)
+    comp = SZ21Compressor()
+    fast = comp.compress(data, 1e-3)
+    slow = comp.compress(data, 1e-3, scalar=True)
+    assert fast == slow
+    recon = comp.decompress(fast)
+    vrange = float(data.max() - data.min())
+    bound = 1e-3 * (vrange if vrange > 0 else 1.0)
+    assert float(np.max(np.abs(data - recon))) <= bound
+
+
+def test_payload_encode_byte_identical_many_unpredictables():
+    rng = np.random.default_rng(7)
+    data = rng.standard_normal((40, 40)).cumsum(axis=0)
+    comp = SZ21Compressor(num_bins=4)
+    assert comp.compress(data, 1e-4) == comp.compress(data, 1e-4, scalar=True)
+
+
+def test_constructor_scalar_flag_not_archived():
+    """``scalar=True`` selects the encode path but never changes archive
+    bytes or metadata — it must not leak into ``archive_options``."""
+    rng = np.random.default_rng(8)
+    data = rng.standard_normal((20, 20)).cumsum(axis=0)
+    for cls in (SZ21Compressor, SZInterpCompressor):
+        fast, slow = cls(), cls(scalar=True)
+        assert slow.compress(data, 1e-3) == fast.compress(data, 1e-3)
+        assert "scalar" not in fast.archive_options()
+        assert "scalar" not in slow.archive_options()
+        assert slow.archive_options() == fast.archive_options()
+
+
+@pytest.mark.parametrize("codec", ["sz21", "szinterp"])
+@pytest.mark.parametrize("mode", ["rel", "abs", "ptw_rel"])
+def test_archive_byte_identical_all_bound_modes(codec, mode):
+    """Facade-level archives: vectorized == scalar bytes under every bound
+    mode (``codec_options={'scalar': True}`` reaches the constructor flag)."""
+    rng = np.random.default_rng(13)
+    data = rng.standard_normal((12, 16)).cumsum(axis=0)
+    if mode == "ptw_rel":
+        data = np.abs(data) + 0.25
+    bound = {"rel": Rel(1e-3), "abs": Abs(1e-2), "ptw_rel": PtwRel(1e-3)}[mode]
+    fast = repro.compress(data, codec, bound)
+    slow = repro.compress(data, codec, bound, codec_options={"scalar": True})
+    assert fast == slow
+    assert _bitwise_equal(repro.decompress(fast), repro.decompress(slow))
+
+
+# ---------------------------------------------------------------------------
+# Encode side: vectorized szinterp encode vs the per-point reference
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("shape", [
+    (1,), (7,), (65,), (130,),            # 1-d across anchor-stride regimes
+    (1, 1), (12, 16), (33, 17),           # 2-d, ragged
+    (1, 1, 1), (6, 7, 8), (16, 16, 16),   # 3-d
+])
+@pytest.mark.parametrize("kind", ["smooth", "noise", "constant"])
+def test_szinterp_encoding_bit_exact(shape, kind):
+    """Vectorized multilevel encode == the per-point scalar reference on
+    every stream: anchors, codes, literals and reconstruction."""
+    rng = np.random.default_rng(abs(hash((shape, kind, "szi"))) % (2**32))
+    data = _field(shape, kind, rng)
+    eb = 1e-3 * max(float(data.max() - data.min()), 1.0)
+    fast = multilevel_interpolation_encode(data, eb)
+    slow = multilevel_interpolation_encode_scalar(data, eb)
+    assert np.array_equal(fast.anchor_codes, slow.anchor_codes)
+    assert np.array_equal(fast.codes, slow.codes)
+    assert _bitwise_equal(fast.unpredictable, slow.unpredictable)
+    assert _bitwise_equal(fast.reconstructed, slow.reconstructed)
+
+
+@pytest.mark.parametrize("shape", [(130,), (33, 17), (9, 10, 11)])
+def test_szinterp_payload_byte_identical(shape):
+    rng = np.random.default_rng(len(shape) + 40)
+    data = rng.standard_normal(shape).cumsum(axis=0)
+    comp = SZInterpCompressor()
+    fast = comp.compress(data, 1e-3)
+    assert fast == comp.compress(data, 1e-3, scalar=True)
+    recon = comp.decompress(fast)
+    vrange = float(data.max() - data.min())
+    assert float(np.max(np.abs(data - recon))) <= 1e-3 * vrange
+
+
+def test_szinterp_many_unpredictables_byte_identical():
+    rng = np.random.default_rng(41)
+    data = rng.standard_normal((30, 30)) * 1e5
+    comp = SZInterpCompressor(num_bins=4)
+    assert comp.compress(data, 1e-6) == comp.compress(data, 1e-6, scalar=True)
+
+
+# ---------------------------------------------------------------------------
+# Encode side: vectorized Huffman bit packing vs the bit-serial reference
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("seed", range(4))
+def test_huffman_encode_stream_bytes_identical(seed):
+    codec = HuffmanCodec()
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(1, 50_000))
+    alphabet = int(rng.integers(2, 3000))
+    symbols = (rng.zipf(1.5, size=n) % alphabet).astype(np.int64)
+    fast = codec.encode(symbols)
+    assert fast == codec.encode(symbols, scalar=True)
+    assert np.array_equal(codec.decode(fast), symbols)
+
+
+@pytest.mark.parametrize("symbols", [
+    np.zeros(0, dtype=np.int64),                      # empty stream
+    np.full(1000, 7, dtype=np.int64),                 # degenerate: one symbol
+    np.array([0, 1], dtype=np.int64),                 # minimal alphabet
+    np.array([0, 2**40, 2**62, 0, 2**40] * 3, dtype=np.int64),  # wide symbols
+])
+def test_huffman_encode_edge_streams_identical(symbols):
+    codec = HuffmanCodec()
+    fast = codec.encode(symbols)
+    assert fast == codec.encode(symbols, scalar=True)
+    assert np.array_equal(codec.decode(fast), symbols)
+
+
+def test_huffman_pack_codes_matches_scalar_packer():
+    """The packer kernels agree on raw (codes, lengths) streams, including
+    chunk-boundary crossings at many lengths."""
+    rng = np.random.default_rng(123)
+    for _ in range(8):
+        n = int(rng.integers(1, 5000))
+        lens = rng.integers(1, 57, size=n).astype(np.int64)
+        codes = np.array([int(rng.integers(0, 1 << int(l))) for l in lens],
+                         dtype=np.uint64)
+        assert _pack_codes(codes, lens) == _pack_codes_scalar(codes, lens)
