@@ -1,0 +1,196 @@
+"""Remote-source benchmark: HTTP range reads cold vs spill-warm.
+
+:class:`repro.sources.http.HttpByteSource` turns a region read into a
+handful of range GETs (front matter + the intersecting tiles);
+:class:`repro.sources.spill.CachingByteSource` persists those ranges to
+local disk so repeat reads never touch the network again.  This benchmark
+quantifies both against a loopback range server with a configurable
+per-request delay that stands in for real network RTT:
+
+* **cold-read latency** — first region read through a fresh
+  ``ArchiveStore`` entry backed by a URL (every range pays the RTT),
+* **spill-warm latency** — the same read after the ranges are on disk
+  (``cache_bytes=0`` keeps the decoded-tile LRU out of the picture, so
+  the delta is purely network vs spill),
+* **bytes over the wire** — asserted O(header + region tiles), a small
+  fraction of the archive.
+
+Correctness is asserted on every run: the URL-backed store read must be
+bit-identical to ``repro.read_region`` on the local blob, and the warm
+read must issue **zero** new range requests.  The smoke gate requires
+warm >= 5x faster than cold — with a simulated RTT per request that holds
+by a wide margin, so the gate catches wiring regressions (spill silently
+bypassed), not scheduler noise.  ``--smoke`` runs a CI-sized field;
+``--out`` writes the rows as JSON (``BENCH_10.json``).
+
+Run standalone with ``python benchmarks/bench_remote_source.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+
+import numpy as np
+
+if __package__ in (None, ""):  # standalone execution
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1]))
+
+import repro
+from repro.sources import HttpByteSource, RetryPolicy
+from repro.store import ArchiveStore
+
+BOUND = 1e-3
+CODEC = "szinterp"
+
+# Full run: 256x256x64 float64 (~32 MB raw).  Smoke: 64x64x32 (~1 MB).
+FULL_SHAPE = (256, 256, 64)
+SMOKE_SHAPE = (64, 64, 32)
+TILE = (32, 32, 16)
+
+REGION = (slice(4, 40), slice(4, 40), slice(2, 14))
+
+
+class _RangeHandler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server naming)
+        blob = self.server.blob
+        time.sleep(self.server.delay_s)  # simulated per-request RTT
+        range_header = self.headers.get("Range")
+        if range_header is None:
+            self._reply(200, blob, {})
+            return
+        try:
+            start_text, end_text = range_header.split("=", 1)[1].split("-", 1)
+            start = int(start_text)
+            end = min(int(end_text) if end_text else len(blob) - 1,
+                      len(blob) - 1)
+        except (IndexError, ValueError):
+            self._reply(400, b"bad range", {})
+            return
+        if start >= len(blob):
+            self._reply(416, b"", {"Content-Range": f"bytes */{len(blob)}"})
+            return
+        body = blob[start:end + 1]
+        self._reply(206, body,
+                    {"Content-Range": f"bytes {start}-{end}/{len(blob)}",
+                     "ETag": '"bench"'})
+
+    def _reply(self, code, body, headers) -> None:
+        self.send_response(code)
+        for name, value in headers.items():
+            self.send_header(name, value)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, fmt, *args) -> None:
+        pass
+
+
+def _serve(blob: bytes, delay_s: float):
+    httpd = ThreadingHTTPServer(("127.0.0.1", 0), _RangeHandler)
+    httpd.daemon_threads = True
+    httpd.blob = blob
+    httpd.delay_s = delay_s
+    thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+    thread.start()
+    host, port = httpd.server_address[:2]
+    return httpd, f"http://{host}:{port}/field.rpra"
+
+
+def run_remote_bench(shape, delay_ms: float, repeats: int = 3,
+                     workdir: Path | None = None) -> dict:
+    rng = np.random.default_rng(0)
+    data = rng.standard_normal(shape).cumsum(axis=0)
+    blob = repro.compress_chunked(data, codec=CODEC, bound=BOUND,
+                                  chunk_shape=TILE)
+    want = repro.read_region(blob, REGION)
+    httpd, url = _serve(blob, delay_ms / 1e3)
+    retry = RetryPolicy(4, base_delay=0.01)
+    try:
+        with tempfile.TemporaryDirectory(dir=workdir) as tmp:
+            # cache_bytes=0: every read goes through the byte source, so
+            # warm timing measures the spill, not the decoded-tile LRU.
+            with ArchiveStore(cache_bytes=0,
+                              spill_dir=Path(tmp) / "spill") as store:
+                store.add("field", HttpByteSource(url, retry=retry))
+                t0 = time.perf_counter()
+                got = store.read_region("field", REGION)
+                cold_s = time.perf_counter() - t0
+                if not np.array_equal(got, want):
+                    raise AssertionError(
+                        "URL-backed store read differs from local decode")
+                after_cold = store.remote_stats()
+
+                warm_s = float("inf")
+                for _ in range(repeats):
+                    t0 = time.perf_counter()
+                    got = store.read_region("field", REGION)
+                    warm_s = min(warm_s, time.perf_counter() - t0)
+                if not np.array_equal(got, want):
+                    raise AssertionError("spill-warm read differs from cold")
+                warm = store.remote_stats()
+                if warm["range_requests"] != after_cold["range_requests"]:
+                    raise AssertionError(
+                        "warm reads issued new range requests; the spill "
+                        "cache is being bypassed")
+                if warm["bytes_fetched"] >= len(blob):
+                    raise AssertionError(
+                        "fetched >= the whole archive; range reads are not "
+                        "O(header + region tiles)")
+    finally:
+        httpd.shutdown()
+        httpd.server_close()
+
+    return {
+        "field": "x".join(str(s) for s in shape) + " float64",
+        "archive_mb": round(len(blob) / 1e6, 2),
+        "delay_ms": delay_ms,
+        "cold_read_ms": round(cold_s * 1e3, 2),
+        "warm_read_ms": round(warm_s * 1e3, 3),
+        "speedup": round(cold_s / warm_s, 1),
+        "range_requests": warm["range_requests"],
+        "retried": warm["retried"],
+        "bytes_fetched": warm["bytes_fetched"],
+        "wire_fraction": round(warm["bytes_fetched"] / len(blob), 4),
+        "spill_hits": warm["spill_hits"],
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="small CI-sized run with the warm >= 5x cold "
+                             "gate (identity assertions hold in every mode)")
+    parser.add_argument("--delay-ms", type=float, default=5.0,
+                        help="simulated per-request RTT (default 5 ms)")
+    parser.add_argument("--out", type=Path, default=None,
+                        help="also write the result row as JSON "
+                             "(e.g. BENCH_10.json)")
+    args = parser.parse_args(argv)
+    row = run_remote_bench(SMOKE_SHAPE if args.smoke else FULL_SHAPE,
+                           args.delay_ms)
+    print(" ".join(f"{k}={v}" for k, v in row.items()))
+    if args.out is not None:
+        args.out.write_text(json.dumps(row, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {args.out}")
+    if args.smoke and row["speedup"] < 5.0:
+        print(f"SMOKE GATE FAILED: spill-warm read only {row['speedup']}x "
+              f"faster than cold (need >= 5x)", file=sys.stderr)
+        return 1
+    print("URL-backed reads bit-identical to local decode; warm reads "
+          "issued zero new range requests")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -59,6 +59,7 @@ from repro.encoding.container import (
 from repro.encoding.lossless import get_backend
 from repro.metrics.error import max_abs_error, psnr
 from repro.registry import compressor_spec, get_compressor, name_for_compressor
+from repro.sources.base import BytesByteSource, FileByteSource, open_source
 from repro.utils.parallel import parallel_imap
 from repro.utils.validation import value_range
 
@@ -680,92 +681,25 @@ def _decompress_chunked(blob: bytes, *, model=None, autoencoder=None,
 # Random-access region decode
 # ---------------------------------------------------------------------------
 
-class _BytesReader:
-    """Random-access reads over an in-memory archive blob.
-
-    Reads are slices of an immutable bytes object, so one instance is safe
-    to share across threads (the store serves in-memory archives through it
-    directly; only ``bytes_read`` accounting may undercount under races).
-    """
-
-    def __init__(self, data):
-        self._data = bytes(data)
-        self.bytes_read = 0
-
-    @property
-    def size(self) -> int:
-        return len(self._data)
-
-    def read_at(self, offset: int, length: int) -> bytes:
-        out = self._data[offset:offset + length]
-        self.bytes_read += len(out)
-        return out
-
-    def read_all(self) -> bytes:
-        self.bytes_read += len(self._data)
-        return self._data
-
-    def close(self) -> None:
-        pass
-
-    def __enter__(self):
-        return self
-
-    def __exit__(self, *exc):
-        return False
-
-
-class _FileReader:
-    """Seek-based reads over an on-disk archive: the region-decode fast path.
-
-    Only the byte ranges actually requested are read, so pulling a small
-    region out of a multi-gigabyte archive touches the front header plus the
-    intersecting tiles — O(region) I/O, not O(archive).
-    """
-
-    def __init__(self, path):
-        self._f = open(path, "rb")
-        self._size = os.fstat(self._f.fileno()).st_size
-        self.bytes_read = 0
-
-    @property
-    def size(self) -> int:
-        return self._size
-
-    def read_at(self, offset: int, length: int) -> bytes:
-        self._f.seek(offset)
-        out = self._f.read(length)
-        self.bytes_read += len(out)
-        return out
-
-    def read_all(self) -> bytes:
-        return self.read_at(0, self._size)
-
-    def __enter__(self):
-        return self
-
-    def __exit__(self, *exc):
-        self._f.close()
-        return False
+# The reader implementations live in :mod:`repro.sources`; the private
+# aliases remain because the store and existing tests grew up on them.
+_BytesReader = BytesByteSource
+_FileReader = FileByteSource
 
 
 def open_reader(source: SourceArg):
-    """Open a random-access reader over archive bytes or an archive path.
+    """Open a random-access byte source over an archive.
 
-    The returned object exposes ``size`` / ``read_at(offset, length)`` /
-    ``read_all()`` and works as a context manager.  This is the I/O seam the
-    region decoder and :class:`repro.store.ArchiveStore` share; note the file
-    variant holds one seekable handle, so a single reader instance must not be
-    shared across threads (the store keeps per-archive ``pread`` handles
-    instead).
+    Accepts in-memory bytes, a filesystem path, an ``http(s)://`` URL
+    (range-GET reads via :class:`repro.sources.HttpByteSource`) or an
+    already-open :class:`~repro.sources.ByteSource` (returned as-is).  The
+    returned object exposes ``size`` / ``read_at(offset, length)`` /
+    ``read_all()`` / ``close()`` and works as a context manager.  This is
+    the I/O seam the region decoder and :class:`repro.store.ArchiveStore`
+    share; every built-in variant is safe to share across threads (files
+    use positional ``pread``, never a seek pointer).
     """
-    if isinstance(source, (bytes, bytearray, memoryview)):
-        return _BytesReader(source)
-    if isinstance(source, (str, os.PathLike)):
-        return _FileReader(source)
-    raise TypeError(
-        f"source must be archive bytes or a path to an archive file, got "
-        f"{type(source)!r}")
+    return open_source(source)
 
 
 def load_index(reader) -> Union[Archive, ChunkedIndex, GridIndex]:
@@ -775,7 +709,14 @@ def load_index(reader) -> Union[Archive, ChunkedIndex, GridIndex]:
     (v2) and grid (v3) archives read only the front matter and validate the
     index against the total size.
     """
-    total_front = front_size(reader.read_at(0, FRONT_PREFIX))
+    prefix = reader.read_at(0, FRONT_PREFIX)
+    if len(prefix) < FRONT_PREFIX:
+        # A source shorter than the fixed front matter can never be an
+        # archive; say so before front_size unpacks garbage.
+        raise ValueError(
+            f"corrupt archive: truncated front matter ({len(prefix)} bytes, "
+            f"need at least {FRONT_PREFIX})")
+    total_front = front_size(prefix)
     front = reader.read_at(0, total_front)
     if len(front) < total_front:
         raise ValueError("corrupt archive: truncated header")

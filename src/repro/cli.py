@@ -61,12 +61,14 @@ from __future__ import annotations
 
 import argparse
 import sys
-from pathlib import Path
+from pathlib import Path, PurePosixPath
 from typing import Optional, Sequence
+from urllib.parse import urlsplit
 
 import numpy as np
 
 from repro import api
+from repro.sources.base import is_url
 from repro.autoencoders import AutoencoderConfig, SlicedWassersteinAutoencoder
 from repro.bounds import ErrorBound, MODES
 from repro.core import AESZCompressor, AESZConfig
@@ -205,9 +207,11 @@ def build_parser() -> argparse.ArgumentParser:
                               "(thread-safe store + decoded-tile LRU cache); "
                               "with --root also a durable, writable store")
     srv.add_argument("archives", nargs="*", metavar="KEY=PATH",
-                     help="archives to serve, each KEY=PATH (KEY becomes the "
-                          "/v1/KEY/... URL segment) or a bare PATH (key = "
-                          "file stem); optional when --root is given")
+                     help="archives to serve, each KEY=PATH or KEY=URL (KEY "
+                          "becomes the /v1/KEY/... URL segment) or a bare "
+                          "PATH/URL (key = file stem); http(s):// sources "
+                          "are read remotely via range requests; optional "
+                          "when --root is given")
     srv.add_argument("--root", metavar="DIR",
                      help="store root directory: keys are replayed from its "
                           "durable manifest at startup and (with --writable) "
@@ -249,6 +253,16 @@ def build_parser() -> argparse.ArgumentParser:
     srv.add_argument("--workers", type=int, default=0, metavar="N",
                      help="selectors front end only: decode worker threads "
                           "(default 0 = pick from the CPU count)")
+    srv.add_argument("--peer", action="append", default=[], metavar="URL",
+                     help="federation: forward GET lookups for unknown keys "
+                          "to this peer node (repeatable, tried in order)")
+    srv.add_argument("--spill-dir", metavar="DIR",
+                     help="spill byte ranges fetched from http(s) archive "
+                          "sources to this directory (read-through disk "
+                          "cache, persists across restarts)")
+    srv.add_argument("--spill-mb", type=float, default=1024.0, metavar="MB",
+                     help="byte budget for --spill-dir in MB (default 1024; "
+                          "LRU-evicted beyond it)")
     srv.add_argument("--verbose", action="store_true",
                      help="log one line per request to stderr")
 
@@ -436,7 +450,9 @@ def _cmd_extract(args: argparse.Namespace) -> int:
             out[local] = piece  # float32 storage, same convention as decompress
             decoded += 1
         out.flush()
-    except ValueError as exc:
+    except (OSError, ValueError) as exc:
+        # OSError: an http(s):// input whose endpoint cannot serve ranges
+        # (or a plain unreadable file) — same clean exit either way.
         raise SystemExit(str(exc))
     total = getattr(header, "n_tiles", 1)
     print(f"{args.input}: region {args.region} -> {args.output} "
@@ -453,10 +469,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.auth_token and not args.root:
         raise SystemExit("--auth-token needs --root DIR (tokens persist in "
                          "the root's manifest)")
-    if not args.archives and not args.root:
-        raise SystemExit("nothing to serve: pass KEY=PATH archives and/or "
-                         "--root DIR")
-    store = ArchiveStore(cache_bytes=int(args.cache_mb * 1024 * 1024))
+    if not args.archives and not args.root and not args.peer:
+        raise SystemExit("nothing to serve: pass KEY=PATH archives, "
+                         "--root DIR and/or --peer URL")
+    store = ArchiveStore(cache_bytes=int(args.cache_mb * 1024 * 1024),
+                         spill_dir=args.spill_dir,
+                         spill_bytes=int(args.spill_mb * 1024 * 1024))
     manager = None
     try:
         if args.root:
@@ -473,11 +491,19 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 manager.manifest.set_auth("*", args.auth_token)
         for spec in args.archives:
             key, sep, path = spec.partition("=")
-            # KEY=PATH only when the left side could be a key and the whole
-            # spec is not itself a file — a '=' inside a bare path
-            # (/data/run=3/f.rpra, run=3.rpra) must not split it.
-            if (not sep or "/" in key or "\\" in key
+            if is_url(spec):
+                # A bare URL ('=' may appear in its query string): key from
+                # the last URL path segment's stem, like a bare file path.
+                name = PurePosixPath(urlsplit(spec).path).stem
+                if not name:
+                    raise SystemExit(
+                        f"cannot derive a key from {spec!r}; pass KEY={spec}")
+                key, path = name, spec
+            elif (not sep or "/" in key or "\\" in key
                     or Path(spec).is_file()):
+                # KEY=PATH only when the left side could be a key and the
+                # whole spec is not itself a file — a '=' inside a bare path
+                # (/data/run=3/f.rpra, run=3.rpra) must not split it.
                 key, path = Path(spec).stem, spec
             store.add(key, path, model=args.model)
     except (OSError, ValueError) as exc:
@@ -492,7 +518,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                              else None,
                              max_connections=args.max_connections,
                              workers=args.workers if args.workers > 0
-                             else None)
+                             else None,
+                             peers=args.peer or None)
     except OSError as exc:  # e.g. the port is already in use
         store.close()
         raise SystemExit(f"cannot bind {args.host}:{args.port}: {exc}")
@@ -558,10 +585,14 @@ def _grid_summary(header) -> str:
 
 
 def _info_archive(path: str) -> int:
-    blob_size = Path(path).stat().st_size
+    # One reader serves both the size and the header parse, so an
+    # http(s):// archive is inspected with two small range requests —
+    # never a full download.
     try:
-        header = api.read_header(path)
-    except ValueError as exc:
+        with api.open_reader(path) as reader:
+            blob_size = reader.size
+            header = api.load_index(reader)
+    except (OSError, ValueError) as exc:
         raise SystemExit(str(exc))
     bound = ErrorBound(header.bound_mode, header.bound_value)
     kinds = {1: "single-shot", 2: "chunked, axis-0 slabs", 3: "N-d chunk grid"}

@@ -327,8 +327,14 @@ def front_size(prefix: bytes) -> int:
     the fixed prefix, one for the JSON header it sizes.
     """
     prefix = bytes(prefix[:FRONT_PREFIX])
-    if len(prefix) < FRONT_PREFIX or prefix[:4] != ARCHIVE_MAGIC:
+    if prefix[:4] != ARCHIVE_MAGIC:
         raise ValueError("corrupt archive: bad magic (not a repro archive)")
+    if len(prefix) < FRONT_PREFIX:
+        # Valid magic but the source ended inside the fixed front matter:
+        # report truncation, not a misleading magic failure.
+        raise ValueError(
+            f"corrupt archive: truncated front matter ({len(prefix)} bytes, "
+            f"need at least {FRONT_PREFIX})")
     (hlen,) = _LEN.unpack_from(prefix, 4 + _U16.size)
     return FRONT_PREFIX + hlen
 

@@ -29,6 +29,9 @@ PARSING_MODULE_SUFFIXES = (
     "repro/api.py",
     "repro/store/manifest.py",
     "repro/store/ingest.py",
+    "repro/sources/base.py",
+    "repro/sources/http.py",
+    "repro/sources/spill.py",
 )
 
 #: Function-name shapes that take raw input bytes apart.

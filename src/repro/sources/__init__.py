@@ -1,0 +1,46 @@
+"""Pluggable byte sources: local files/bytes, HTTP range-GET, disk spill.
+
+The region read path only ever needs positional byte reads — ``size``,
+``read_at(offset, length)``, ``read_all()``, ``close()`` — and this package
+is that seam made explicit:
+
+* :func:`open_source` — dispatch bytes / path / ``http(s)://`` URL /
+  existing source to the right implementation (what
+  :func:`repro.open_reader` and :meth:`repro.store.ArchiveStore.add` use).
+* :class:`BytesByteSource` / :class:`FileByteSource` — the local
+  implementations (immutable slices; positional ``pread`` with a short-read
+  loop, thread-safe).
+* :class:`HttpByteSource` — range-GET reads over stdlib ``http.client``
+  with keep-alive reuse, strict 206/Content-Range validation and bounded
+  retry/backoff on transient faults.
+* :class:`CachingByteSource` — a read-through disk spill cache of fetched
+  ranges (content-token keyed, byte-budget LRU, single-flight per range).
+"""
+
+from repro.sources.base import (
+    BytesByteSource,
+    FileByteSource,
+    SourceLike,
+    is_byte_source,
+    is_url,
+    open_source,
+)
+from repro.sources.spill import DEFAULT_SPILL_BYTES, CachingByteSource
+
+__all__ = ["BytesByteSource", "CachingByteSource", "DEFAULT_SPILL_BYTES",
+           "FileByteSource", "HttpByteSource", "HttpSourceError",
+           "RetryPolicy", "SourceLike", "is_byte_source", "is_url",
+           "open_source"]
+
+_HTTP_NAMES = ("HttpByteSource", "HttpSourceError", "RetryPolicy")
+
+
+def __getattr__(name):
+    # The HTTP source drags in http.client; load it only when an HTTP symbol
+    # is actually requested, so plain `import repro` (library use, CLI
+    # compress, every test worker) stays lean.
+    if name in _HTTP_NAMES:
+        from repro.sources import http
+
+        return getattr(http, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -235,8 +235,9 @@ class AsyncStoreHTTPServer:
                  quiet: bool = True, ingest: Optional[IngestManager] = None,
                  read_timeout: Optional[float] = None,
                  max_connections: int = 512,
-                 workers: Optional[int] = None) -> None:
-        self.app = StoreApp(store, ingest=ingest)
+                 workers: Optional[int] = None,
+                 peers: Optional[List[str]] = None) -> None:
+        self.app = StoreApp(store, ingest=ingest, peers=peers)
         self.store = store
         self.ingest = ingest
         self.quiet = quiet

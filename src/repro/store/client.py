@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import json
 import math
-from http.client import HTTPConnection, HTTPSConnection
+from http.client import HTTPConnection, HTTPException, HTTPSConnection
 from pathlib import Path
 from typing import Iterator, Optional, Tuple, Union
 from urllib.parse import quote, urlsplit
@@ -22,6 +22,7 @@ from urllib.parse import quote, urlsplit
 import numpy as np
 
 from repro.bounds import MODE_REL, as_bound
+from repro.sources.http import RetryPolicy
 
 #: Upload granularity: whole rows totalling about this many bytes per chunk.
 DEFAULT_CHUNK_BYTES = 1 << 20
@@ -106,6 +107,30 @@ def _connect(url: str, timeout: float) -> Tuple[HTTPConnection, str]:
     return conn, parts.path.rstrip("/")
 
 
+def _retrying_connect(url: str, timeout: float, retry: RetryPolicy
+                      ) -> Tuple[HTTPConnection, str]:
+    """``_connect`` + an explicit TCP/TLS connect, retried under ``retry``.
+
+    Forcing the connect here (instead of lazily inside the first
+    ``request()``) pins every transient connection fault to a point where
+    not a single body byte is on the wire — the only place a non-idempotent
+    push may retry safely.
+    """
+    last_fault: Optional[BaseException] = None
+    for attempt in range(retry.attempts):
+        if attempt:
+            retry.backoff(attempt - 1)
+        conn, base = _connect(url, timeout)
+        try:
+            conn.connect()
+            return conn, base
+        except (ConnectionError, TimeoutError, OSError) as exc:
+            conn.close()
+            last_fault = exc
+    raise OSError(f"cannot connect to {url} after {retry.attempts} "
+                  f"attempts: {last_fault}") from last_fault
+
+
 def _finish(conn) -> dict:
     resp = conn.getresponse()
     raw = resp.read()
@@ -125,7 +150,8 @@ def push_field(url: str, key: str,
                token: Optional[str] = None,
                data_range: Optional[Tuple[float, float]] = None,
                chunk_bytes: int = DEFAULT_CHUNK_BYTES,
-               timeout: float = 600.0) -> dict:
+               timeout: float = 600.0,
+               retry: Optional[RetryPolicy] = None) -> dict:
     """Stream ``source`` to ``POST {url}/v1/{key}`` and return the response.
 
     ``bound`` is an :class:`~repro.bounds.ErrorBound` or a bare number
@@ -155,7 +181,11 @@ def push_field(url: str, key: str,
         headers["Authorization"] = f"Bearer {token}"
     body = (np.ascontiguousarray(slab).tobytes()
             for slab in _row_slabs(arr, chunk_bytes))
-    conn, base = _connect(url, timeout)
+    # Retry covers *connection establishment only*: a push is not idempotent
+    # once body bytes are on the wire (the server may already be ingesting),
+    # so transient faults after the explicit connect() surface to the caller.
+    retry = retry if retry is not None else RetryPolicy()
+    conn, base = _retrying_connect(url, timeout, retry)
     try:
         try:
             conn.request("POST", f"{base}/v1/{quote(key, safe='')}",
@@ -171,15 +201,35 @@ def push_field(url: str, key: str,
 
 
 def delete_key(url: str, key: str, *, token: Optional[str] = None,
-               timeout: float = 60.0) -> dict:
-    """``DELETE /v1/{key}`` on a writable store node."""
+               timeout: float = 60.0,
+               retry: Optional[RetryPolicy] = None) -> dict:
+    """``DELETE /v1/{key}`` on a writable store node.
+
+    DELETE is idempotent, so the whole exchange retries under ``retry``
+    (default :class:`repro.sources.http.RetryPolicy`) on transient faults:
+    connection errors, timeouts, and 5xx/429/408 responses.  Non-transient
+    refusals (401, 404, ...) raise :class:`PushError` immediately.
+    """
     headers = {}
     if token is not None:
         headers["Authorization"] = f"Bearer {token}"
-    conn, base = _connect(url, timeout)
-    try:
-        conn.request("DELETE", f"{base}/v1/{quote(key, safe='')}",
-                     headers=headers)
-        return _finish(conn)
-    finally:
-        conn.close()
+    retry = retry if retry is not None else RetryPolicy()
+    last_fault: Optional[BaseException] = None
+    for attempt in range(retry.attempts):
+        if attempt:
+            retry.backoff(attempt - 1)
+        conn, base = _connect(url, timeout)
+        try:
+            conn.request("DELETE", f"{base}/v1/{quote(key, safe='')}",
+                         headers=headers)
+            return _finish(conn)
+        except PushError as exc:
+            if not retry.retryable_status(exc.status):
+                raise
+            last_fault = exc
+        except (HTTPException, ConnectionError, TimeoutError, OSError) as exc:
+            last_fault = exc
+        finally:
+            conn.close()
+    raise OSError(f"DELETE {url}/v1/{key} failed after {retry.attempts} "
+                  f"attempts: {last_fault}") from last_fault

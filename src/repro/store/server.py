@@ -83,11 +83,13 @@ from __future__ import annotations
 import hmac
 import json
 import math
+import re
 import time
+from http.client import HTTPConnection, HTTPException, HTTPSConnection
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import (TYPE_CHECKING, Callable, Dict, List, Optional, Tuple,
                     Union)
-from urllib.parse import parse_qs, unquote, urlparse
+from urllib.parse import parse_qs, unquote, urlparse, urlsplit
 
 import numpy as np
 
@@ -212,6 +214,38 @@ class Response:
         self.close = close
 
 
+#: The single-span byte-range forms ``a-b`` / ``a-`` / ``-n``.
+_RANGE_RE = re.compile(r"^bytes=(\d*)-(\d*)$")
+
+
+def _parse_byte_range(value: Optional[str]
+                      ) -> Optional[Tuple[Optional[int], Optional[int],
+                                          Optional[int]]]:
+    """``(start, end, suffix)`` of a single-span ``Range`` header.
+
+    ``bytes=a-b`` -> ``(a, b, None)``; ``bytes=a-`` -> ``(a, None, None)``;
+    ``bytes=-n`` -> ``(None, None, n)``.  Anything else — multiple spans,
+    other units, a reversed span, malformed syntax — returns ``None``:
+    RFC 7233 lets a server ignore the header and answer 200 with the full
+    body, which is always safe (just never the silent-downgrade 206).
+    """
+    if value is None:
+        return None
+    match = _RANGE_RE.match(value.strip())
+    if match is None:
+        return None
+    start_text, end_text = match.group(1), match.group(2)
+    if start_text:
+        start = int(start_text)
+        end = int(end_text) if end_text else None
+        if end is not None and end < start:
+            return None
+        return start, end, None
+    if end_text:
+        return None, None, int(end_text)
+    return None
+
+
 def _etag_matches(header_value: str, etag: str) -> bool:
     """RFC 7232 ``If-None-Match`` evaluation against one strong tag."""
     if header_value.strip() == "*":
@@ -241,11 +275,37 @@ class StoreApp:
     #: Cap on the number of regions per batch.
     REGIONS_MAX_COUNT = 1024
 
+    #: Response headers a federation proxy passes through from the peer.
+    PROXY_HEADERS = ("Content-Type", "ETag", "Accept-Ranges", "Content-Range",
+                     "X-Repro-Shape", "X-Repro-Dtype", "X-Repro-Header",
+                     "X-Repro-Generation", "X-Repro-Count")
+    #: Connection attempts per peer before moving to the next one.
+    PROXY_ATTEMPTS = 2
+
     def __init__(self, store: ArchiveStore, *,
-                 ingest: Optional[IngestManager] = None) -> None:
+                 ingest: Optional[IngestManager] = None,
+                 peers: Optional[List[str]] = None,
+                 proxy_timeout: float = 30.0) -> None:
         self.store = store
         self.ingest = ingest
         self.metrics = RouteMetrics()
+        # Federation: GET lookups for keys this store does not own are
+        # retried against these peer nodes, in order.
+        self._peers = [self._parse_peer(url) for url in (peers or [])]
+        self._proxy_timeout = float(proxy_timeout)
+        self._proxy_lock = make_lock("StoreApp._proxy_lock")
+        self._proxied = 0  # guarded by: self._proxy_lock
+        self._proxy_errors = 0  # guarded by: self._proxy_lock
+
+    @staticmethod
+    def _parse_peer(url: str) -> Tuple[str, str, int, str, str]:
+        parts = urlsplit(url)
+        if parts.scheme not in ("http", "https") or not parts.hostname:
+            raise ValueError(
+                f"invalid peer URL {url!r} (need "
+                f"http(s)://host[:port][/prefix])")
+        port = parts.port or (443 if parts.scheme == "https" else 80)
+        return parts.scheme, parts.hostname, port, parts.path.rstrip("/"), url
 
     # ------------------------------------------------------------ entry point
     def handle(self, request: Request) -> Response:
@@ -276,6 +336,8 @@ class StoreApp:
             if len(parts) == 3 and parts[0] == "v1" and parts[2] == "region":
                 return "region", lambda: self._region(
                     request, parts[1], parse_qs(parsed.query))
+            if len(parts) == 3 and parts[0] == "v1" and parts[2] == "archive":
+                return "archive", lambda: self._archive(request, parts[1])
         elif method == "POST" and len(parts) == 3 and parts[0] == "v1" \
                 and parts[2] == "regions":
             return "regions", lambda: self._regions(request, parts[1])
@@ -304,13 +366,21 @@ class StoreApp:
             "archives": stats["archives"],
             "routes": self.metrics.snapshot(),
             "writable": self.ingest is not None,
+            "remote": self.store.remote_stats(),
+            "federation": self._federation_stats(),
         })
+
+    def _federation_stats(self) -> dict:
+        with self._proxy_lock:
+            proxied, errors = self._proxied, self._proxy_errors
+        return {"peers": [peer[4] for peer in self._peers],
+                "proxied": proxied, "proxy_errors": errors}
 
     def _info(self, request: Request, key: str) -> Response:
         try:
             info = self.store.entry_info(key)
         except KeyError as exc:
-            return self._json(404, {"error": str(exc)})
+            return self._proxy_or_404(request, exc)
         except ValueError as exc:
             # "store is closed": a request raced the shutdown path.  Answer
             # it cleanly instead of dying with a traceback mid-connection.
@@ -354,7 +424,7 @@ class StoreApp:
             # reversed bounds against this entry's shape): 4xx.
             return self._json(400, {"error": str(exc)})
         except KeyError as exc:
-            return self._json(404, {"error": str(exc)})
+            return self._proxy_or_404(request, exc)
         except ValueError as exc:
             # "store is closed" races the shutdown path (503); everything
             # else is the archive's fault — corrupt tile bytes, shape
@@ -381,6 +451,111 @@ class StoreApp:
         }
         headers.update(self._entity_headers(info))
         return Response(200, body, headers=headers)
+
+    def _archive(self, request: Request, key: str) -> Response:
+        """Raw archive bytes of ``key``, with single-span ``Range`` support.
+
+        This is the endpoint that makes one node's archives readable as a
+        remote byte source by another (``store.add(key, f"{url}/v1/{key}/"
+        "archive")``): a valid ``Range: bytes=a-b`` answers 206 with a
+        strict ``Content-Range``, a range past EOF answers 416, and
+        anything unsupported falls back to an honest 200 full body — never
+        a mislabeled partial.
+        """
+        not_modified = self._check_conditional(request, key)
+        if not_modified is not None:
+            not_modified.headers.setdefault("Accept-Ranges", "bytes")
+            return not_modified
+        span = _parse_byte_range(request.header("range"))
+        try:
+            if span is None:
+                start = 0
+                data, size, info = self.store.read_raw_with_info(key)
+                status = 200
+            else:
+                start, end, suffix = span
+                if suffix is not None:
+                    # Suffix ranges need the total first; the extra lookup
+                    # may race a concurrent replace, in which case the
+                    # tile-level CRC checks downstream still catch any mix.
+                    _, total, _ = self.store.read_raw_with_info(key, 0, 0)
+                    start, end = max(0, total - suffix), None
+                length = None if end is None else end - start + 1
+                data, size, info = self.store.read_raw_with_info(
+                    key, start, length)
+                if start >= size:
+                    return self._json(
+                        416, {"error": f"range {request.header('range')!r} "
+                                       f"is not satisfiable for a "
+                                       f"{size}-byte archive"},
+                        extra={"Content-Range": f"bytes */{size}",
+                               "Accept-Ranges": "bytes"})
+                status = 206
+        except KeyError as exc:
+            return self._proxy_or_404(request, exc)
+        except ValueError as exc:
+            code = 503 if "store is closed" in str(exc) else 500
+            return self._json(code, {"error": str(exc)})
+        except OSError as exc:
+            return self._json(500, {"error": str(exc)})
+        headers = {"Content-Type": "application/octet-stream",
+                   "Accept-Ranges": "bytes"}
+        headers.update(self._entity_headers(info))
+        if status == 206:
+            headers["Content-Range"] = \
+                f"bytes {start}-{start + len(data) - 1}/{size}"
+        return Response(status, data, headers=headers)
+
+    # ------------------------------------------------------------- federation
+    def _proxy_or_404(self, request: Request, exc: KeyError) -> Response:
+        """Try the configured peers for an unknown key; 404 when none serve it."""
+        proxied = self._proxy(request)
+        if proxied is not None:
+            return proxied
+        return self._json(404, {"error": str(exc)})
+
+    def _proxy(self, request: Request) -> Optional[Response]:
+        if not self._peers or request.header("x-repro-federated") is not None:
+            # No peers, or the request already came from a peer: answering
+            # locally (404) breaks the forwarding loop two misconfigured
+            # nodes pointing at each other would otherwise enter.
+            return None
+        headers = {"X-Repro-Federated": "1"}
+        for name in ("range", "if-none-match"):
+            value = request.header(name)
+            if value is not None:
+                headers[name] = value
+        for peer in self._peers:
+            response = self._proxy_one(peer, request.target, headers)
+            if response is None or response.status == 404:
+                continue  # this peer does not own the key either
+            with self._proxy_lock:
+                self._proxied += 1
+            return response
+        return None
+
+    def _proxy_one(self, peer: Tuple[str, str, int, str, str], target: str,
+                   headers: Dict[str, str]) -> Optional[Response]:
+        scheme, host, port, base, _url = peer
+        conn_cls = HTTPSConnection if scheme == "https" else HTTPConnection
+        for _attempt in range(self.PROXY_ATTEMPTS):
+            conn = conn_cls(host, port, timeout=self._proxy_timeout)
+            try:
+                conn.request("GET", base + target, headers=headers)
+                resp = conn.getresponse()
+                body = resp.read()
+                out_headers = {}
+                for name in self.PROXY_HEADERS:
+                    value = resp.getheader(name)
+                    if value is not None:
+                        out_headers[name] = value
+                return Response(resp.status, body, headers=out_headers)
+            except (HTTPException, ConnectionError, TimeoutError, OSError):
+                with self._proxy_lock:
+                    self._proxy_errors += 1
+            finally:
+                conn.close()
+        return None
 
     def _regions(self, request: Request, key: str) -> Response:
         """Batched region reads: JSON spec list in, concatenated bytes out."""
@@ -613,8 +788,10 @@ class StoreApp:
             return None
         try:
             info = self.store.entry_info(key)
-        except KeyError as exc:
-            return self._json(404, {"error": str(exc)})
+        except KeyError:
+            # Unknown key: let the main read path raise (same 404 message)
+            # so federation can try the peers with the header intact.
+            return None
         except ValueError as exc:
             return self._json(503, {"error": str(exc)})
         return self._not_modified(request, info)
@@ -738,9 +915,10 @@ class StoreHTTPServer(ThreadingHTTPServer):
 
     def __init__(self, address: Tuple[str, int], store: ArchiveStore, *,
                  quiet: bool = True, ingest: Optional[IngestManager] = None,
-                 read_timeout: Optional[float] = None):
+                 read_timeout: Optional[float] = None,
+                 peers: Optional[List[str]] = None):
         super().__init__(address, StoreRequestHandler)
-        self.app = StoreApp(store, ingest=ingest)
+        self.app = StoreApp(store, ingest=ingest, peers=peers)
         self.store = store
         self.quiet = quiet
         self.ingest = ingest
@@ -760,6 +938,7 @@ def make_server(store: ArchiveStore, host: str = "127.0.0.1", port: int = 0,
                 read_timeout: Optional[float] = None,
                 max_connections: int = 512,
                 workers: Optional[int] = None,
+                peers: Optional[List[str]] = None,
                 ) -> "Union[StoreHTTPServer, AsyncStoreHTTPServer]":
     """Bind a store HTTP server (``port=0`` picks a free port).
 
@@ -784,12 +963,13 @@ def make_server(store: ArchiveStore, host: str = "127.0.0.1", port: int = 0,
         return AsyncStoreHTTPServer(
             (host, port), store, quiet=quiet, ingest=ingest,
             read_timeout=read_timeout, max_connections=max_connections,
-            workers=workers)
+            workers=workers, peers=peers)
     if server != "threaded":
         raise ValueError(f"unknown server kind {server!r} "
                          f"(use 'selectors' or 'threaded')")
     return StoreHTTPServer((host, port), store, quiet=quiet, ingest=ingest,
-                           read_timeout=read_timeout)
+                           read_timeout=read_timeout, peers=peers)
 
 
 install_guards(RouteMetrics, "_lock", ("_routes",))
+install_guards(StoreApp, "_proxy_lock", ("_proxied", "_proxy_errors"))

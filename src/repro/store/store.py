@@ -23,7 +23,6 @@ from __future__ import annotations
 
 import hashlib
 import os
-import threading
 import zlib
 from concurrent.futures import ThreadPoolExecutor
 from typing import (Any, Dict, List, NamedTuple, Optional, Sequence, Tuple,
@@ -32,7 +31,6 @@ from typing import (Any, Dict, List, NamedTuple, Optional, Sequence, Tuple,
 import numpy as np
 
 from repro.api import (
-    _BytesReader,
     _decompress_parsed,
     _store_chunk,
     decode_tile,
@@ -43,12 +41,20 @@ from repro.api import (
 )
 from repro.encoding.container import Archive, ChunkedIndex, GridIndex
 from repro.registry import compressor_spec
+from repro.sources.base import (
+    BytesByteSource,
+    FileByteSource,
+    is_byte_source,
+    is_url,
+)
+from repro.sources.spill import DEFAULT_SPILL_BYTES, CachingByteSource
 from repro.store.cache import DEFAULT_CACHE_BYTES, TileCache
 from repro.utils.concurrency import install_guards, make_lock
 
 IndexType = Union[Archive, ChunkedIndex, GridIndex]
 
-#: What ``add`` accepts: archive bytes, or a path to an archive file.
+#: What ``add`` accepts: archive bytes, a path to an archive file, an
+#: ``http(s)://`` URL, or an already-open ``ByteSource``.
 SourceType = Union[bytes, bytearray, memoryview, str, os.PathLike]
 
 
@@ -80,71 +86,10 @@ class ReadInfo(NamedTuple):
 # Concurrency-safe random-access handles
 # ---------------------------------------------------------------------------
 
-class _PReadHandle:
-    """Positional reads over one open file descriptor.
-
-    ``os.pread`` takes the offset explicitly, so any number of threads can
-    read through the same descriptor without a lock or a shared seek pointer.
-    On platforms without ``pread`` (Windows), a lock + seek/read fallback
-    keeps the same interface.
-    """
-
-    def __init__(self, path: Union[str, os.PathLike]):
-        # O_BINARY matters exactly where the fallback does (Windows): without
-        # it the CRT text mode mangles \r\n and stops at 0x1A mid-payload.
-        self._fd = os.open(os.fspath(path),
-                           os.O_RDONLY | getattr(os, "O_BINARY", 0))
-        self.size = os.fstat(self._fd).st_size
-        self._fallback_lock = None if hasattr(os, "pread") else threading.Lock()
-
-    def read_at(self, offset: int, length: int) -> bytes:
-        # Loop on short reads: one pread caps at ~2 GiB on Linux, and either
-        # syscall may return less than asked near resource limits.
-        parts = []
-        got = 0
-        while got < length:
-            if self._fallback_lock is None:
-                chunk = os.pread(self._fd, length - got, offset + got)
-            else:
-                with self._fallback_lock:
-                    os.lseek(self._fd, offset + got, os.SEEK_SET)
-                    chunk = os.read(self._fd, length - got)
-            if not chunk:
-                break  # EOF: callers detect truncation via length/CRC checks
-            parts.append(chunk)
-            got += len(chunk)
-        return parts[0] if len(parts) == 1 else b"".join(parts)
-
-    def read_all(self) -> bytes:
-        return self.read_at(0, self.size)
-
-    def close(self) -> None:
-        fd, self._fd = self._fd, -1
-        if fd >= 0:
-            os.close(fd)
-
-    def __enter__(self):
-        return self
-
-    def __exit__(self, *exc):
-        self.close()
-        return False
-
-
-def _open_handle(source: SourceType):
-    """A thread-safe random-access handle: pread for files, slices for bytes.
-
-    In-memory sources reuse :class:`repro.api._BytesReader` directly —
-    slicing immutable bytes is lock-free; only file handles need the
-    positional-read treatment above.
-    """
-    if isinstance(source, (bytes, bytearray, memoryview)):
-        return _BytesReader(source)
-    if isinstance(source, (str, os.PathLike)):
-        return _PReadHandle(source)
-    raise TypeError(
-        f"source must be archive bytes or a path to an archive file, got "
-        f"{type(source)!r}")
+# The positional-read file handle moved to :mod:`repro.sources.base` (one
+# shared short-read loop for both the store and the facade); the old private
+# name survives for anything that grew up on it.
+_PReadHandle = FileByteSource
 
 
 def _content_etag(index: IndexType) -> str:
@@ -279,8 +224,14 @@ class ArchiveStore:
     """
 
     def __init__(self, *, cache_bytes: int = DEFAULT_CACHE_BYTES,
-                 cache: Optional[TileCache] = None):
+                 cache: Optional[TileCache] = None,
+                 spill_dir: Optional[Union[str, os.PathLike]] = None,
+                 spill_bytes: int = DEFAULT_SPILL_BYTES):
         self._cache = cache if cache is not None else TileCache(cache_bytes)
+        # Remote (URL) sources spill fetched byte ranges under this
+        # directory when set; local sources never pay for it.
+        self._spill_dir = os.fspath(spill_dir) if spill_dir is not None else None
+        self._spill_bytes = int(spill_bytes)
         self._lock = make_lock("ArchiveStore._lock")
         self._entries: Dict[str, _Entry] = {}  # guarded by: self._lock
         self._closed = False  # guarded by: self._lock
@@ -363,8 +314,43 @@ class ArchiveStore:
         entry.retire(on_close=on_release)
         self._purge_cached(entry)
 
-    @staticmethod
-    def _build_entry(key: str, source: SourceType, model, autoencoder,
+    def _open_handle(self, source: SourceType):
+        """A thread-safe random-access handle for any accepted source kind.
+
+        In-memory sources get lock-free slices, files positional ``pread``,
+        ``http(s)://`` URLs a range-GET :class:`HttpByteSource` — wrapped in
+        the disk spill cache when the store was built with ``spill_dir``.
+        An already-open byte source is adopted as-is (the store owns it from
+        here: it closes when the entry retires).
+        """
+        if isinstance(source, (bytes, bytearray, memoryview)):
+            return BytesByteSource(source)
+        if is_url(source):
+            from repro.sources.http import HttpByteSource
+
+            handle = HttpByteSource(source)
+            if self._spill_dir is not None:
+                return CachingByteSource(handle, self._spill_dir,
+                                         max_bytes=self._spill_bytes)
+            return handle
+        if isinstance(source, (str, os.PathLike)):
+            return FileByteSource(source)
+        if is_byte_source(source):
+            # Adopted as-is (the store owns it from here) — except that a
+            # caller-built remote source still earns the spill cache, so
+            # tuning retry/timeout never silently opts out of it.
+            if self._spill_dir is not None:
+                from repro.sources.http import HttpByteSource
+
+                if isinstance(source, HttpByteSource):
+                    return CachingByteSource(source, self._spill_dir,
+                                             max_bytes=self._spill_bytes)
+            return source
+        raise TypeError(
+            f"source must be archive bytes or a path to an archive file, an "
+            f"http(s):// URL, or a ByteSource, got {type(source)!r}")
+
+    def _build_entry(self, key: str, source: SourceType, model, autoencoder,
                      codec_options) -> _Entry:
         """Validate the key, open the source and parse its header once."""
         if not isinstance(key, str) or not key:
@@ -373,7 +359,7 @@ class ArchiveStore:
             raise ValueError(
                 f"archive key {key!r} must not contain '/' (keys are one URL "
                 f"path segment of the serve endpoint)")
-        handle = _open_handle(source)
+        handle = self._open_handle(source)
         try:
             index = load_index(handle)
             compressor_spec(index.codec)  # unknown codec fails at add time
@@ -448,11 +434,61 @@ class ArchiveStore:
             out["archives"] = len(self._entries)
         return out
 
+    def remote_stats(self) -> dict:
+        """Aggregated remote-source counters over every live entry.
+
+        Sums each handle's ``stats()`` (only remote/spill sources have one):
+        HTTP ``range_requests`` / ``retried`` / ``bytes_fetched`` and spill
+        ``spill_hits`` / ``spill_misses`` / ``spill_evictions`` /
+        ``spill_bytes_written``; ``sources`` counts the contributing
+        entries.  All zeros on a purely local store.
+        """
+        totals = {"sources": 0, "range_requests": 0, "retried": 0,
+                  "bytes_fetched": 0, "spill_hits": 0, "spill_misses": 0,
+                  "spill_evictions": 0, "spill_bytes_written": 0}
+        with self._lock:
+            handles = [entry.handle for entry in self._entries.values()]
+        for handle in handles:
+            stats = getattr(handle, "stats", None)
+            if not callable(stats):
+                continue
+            row = stats()
+            totals["sources"] += 1
+            for name in totals:
+                if name != "sources" and name in row:
+                    totals[name] += int(row[name])
+        return totals
+
     @property
     def cache(self) -> TileCache:
         return self._cache
 
     # ----------------------------------------------------------------- reads
+    def read_raw_with_info(self, key: str, offset: int = 0,
+                           length: Optional[int] = None
+                           ) -> Tuple[bytes, int, ReadInfo]:
+        """Raw archive bytes of ``key``: ``(bytes, total_size, info)``.
+
+        Positional read straight off the entry's handle — no tile decode,
+        no cache traffic.  ``length=None`` reads to the end; reads past EOF
+        clamp like the underlying sources.  This is what lets one node
+        serve another's archives over ``GET /v1/<key>/archive`` (the
+        federation transport): the bytes are the archive file itself, so
+        the receiving side's CRC checks still guard every tile.
+        """
+        if offset < 0:
+            raise ValueError(f"offset must be >= 0, got {offset}")
+        if length is not None and length < 0:
+            raise ValueError(f"length must be >= 0, got {length}")
+        entry = self._entry(key)
+        try:
+            size = entry.handle.size
+            want = max(0, size - offset) if length is None else length
+            data = entry.handle.read_at(offset, want) if want > 0 else b""
+            return data, size, ReadInfo(entry.index, entry.generation,
+                                        entry.etag, ())
+        finally:
+            entry.unpin()
     def read_region(self, key: str, region, *,
                     out: Optional[np.ndarray] = None,
                     decode_workers: int = 1) -> np.ndarray:
